@@ -1,0 +1,23 @@
+# Arboretum reproduction — common targets.
+
+.PHONY: install test bench eval examples artifacts all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+eval:
+	python -m repro eval all
+
+artifacts:
+	python -m repro eval --export artifacts/
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
+
+all: test bench

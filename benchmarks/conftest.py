@@ -1,0 +1,15 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(§7) and prints the rows it produced, so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report. Shape assertions
+live in tests/test_eval.py; the benchmarks measure how long regeneration
+takes and emit the artifacts.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _newline_before_output(capsys):
+    yield

@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three of the paper's explicitly-stated trade-offs, measured through the
+planner's own machinery:
+
+* §4.3: "there is no single best degree for this [sum] tree" — larger
+  fanouts amortize start-up better (lower expected cost), smaller fanouts
+  cap per-node work (lower maximum cost);
+* §4.3/Fig 4: the two em instantiations trade aggregator FHE work against
+  committee MPC work, and the winner flips with deployment size;
+* §5.1: the committee size needed for safety grows with the number of
+  committees and the malicious fraction.
+"""
+
+from repro.planner.committees import minimum_committee_size
+from repro.planner.costmodel import CostModel
+from repro.planner.expand import choice_space, instantiate
+from repro.planner.plan import score_vignettes
+from repro.planner.search import Planner
+from repro.queries.catalog import get
+from tests.conftest import small_env
+
+MODEL = CostModel()
+TOP1 = "aggr = sum(db); r = em(aggr); output(r);"
+
+
+def _scores_by_aggregate_fanout(env):
+    """Score every participant-tree fanout for the aggregation step."""
+    from tests.test_ir_lowering import lower_source
+
+    plan = lower_source(TOP1, env=env)
+    space = choice_space(plan)
+    results = {}
+    gumbel = next(
+        c for c in space[2][1] if c.option == "gumbel_mpc"
+    )
+    for agg_choice in space[1][1]:
+        if agg_choice.option != "participant_tree":
+            continue
+        choices = [space[0][1][0], agg_choice, gumbel, space[3][1][0]]
+        vignettes, _ = instantiate(plan, choices, MODEL)
+        score = score_vignettes(vignettes, env.num_participants, MODEL)
+        results[agg_choice.params[0]] = score
+    return results
+
+
+def test_sum_tree_fanout_tradeoff(benchmark):
+    env = small_env(num_participants=2**30, categories=2**15, epsilon=0.1)
+    results = benchmark.pedantic(
+        lambda: _scores_by_aggregate_fanout(env), rounds=1, iterations=1
+    )
+    fanouts = sorted(results)
+    print()
+    print("fanout   expected-bytes     helper-max-bytes")
+    for f in fanouts:
+        cost = results[f].cost
+        print(
+            f"{f:6d}   {cost.participant_expected_bytes / 1e6:10.3f} MB   "
+            f"{cost.participant_max_bytes / 1e9:10.3f} GB"
+        )
+    # Small fanout -> lower per-helper maximum; large fanout -> cheaper in
+    # expectation (fewer tree nodes to pay for).
+    smallest, largest = fanouts[0], fanouts[-1]
+    assert (
+        results[smallest].cost.participant_max_bytes
+        < results[largest].cost.participant_max_bytes
+    )
+    assert (
+        results[largest].cost.participant_expected_bytes
+        <= results[smallest].cost.participant_expected_bytes
+    )
+
+
+def test_em_variant_crossover(benchmark):
+    """The chosen em instantiation flips with deployment size: committee
+    MPC wins at 10^9 devices (committee service is vanishingly rare), the
+    FHE form wins at small N (committee probability ~1)."""
+
+    def run():
+        chosen = {}
+        for exponent in (14, 30):
+            env = small_env(
+                num_participants=2**exponent, categories=2**15, epsilon=0.1
+            )
+            result = Planner(env).plan_source(TOP1, f"top1@2^{exponent}")
+            chosen[exponent] = result.plan.choices["select_max[2]"]
+        return chosen
+
+    chosen = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for exponent, choice in chosen.items():
+        print(f"N = 2^{exponent}: {choice}")
+    assert chosen[14].startswith("expo_fhe")
+    assert chosen[30].startswith("gumbel_mpc")
+
+
+def test_committee_sizing_sweep(benchmark):
+    """§5.1: m grows with the committee count and the malicious fraction."""
+
+    def sweep():
+        table = {}
+        for f in (0.01, 0.03, 0.05, 0.10):
+            table[f] = [
+                minimum_committee_size(c, malicious_fraction=f)
+                for c in (1, 100, 10_000, 1_000_000)
+            ]
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("f\\c        1     100   10^4    10^6")
+    for f, sizes in table.items():
+        print(f"{f:4.2f}  " + "  ".join(f"{m:5d}" for m in sizes))
+    for f, sizes in table.items():
+        assert sizes == sorted(sizes)  # monotone in committee count
+    for row_a, row_b in zip(table[0.01], table[0.10]):
+        assert row_b > row_a  # monotone in malicious fraction

@@ -1,0 +1,114 @@
+"""Cost-model validation ([44, §C] provides validation data for the
+paper's model; this is our equivalent).
+
+The model only needs to *order* candidates correctly (§4.6). We validate
+exactly that: run the real MPC engine on the building blocks the model
+prices — multiplication, comparison, noise generation, committee sizes —
+and check that the measured cost ordering and rough ratios agree with the
+model's predictions.
+"""
+
+import random
+import time
+
+from repro.mpc.engine import MPCEngine
+from repro.mpc.protocols import shared_gumbel_noise
+from repro.planner.costmodel import CostModel, Work
+
+MODEL = CostModel()
+
+
+def _timed(fn, repeats):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def _measure_primitives(num_parties=6, repeats=20, seed=3):
+    rng = random.Random(seed)
+    engine = MPCEngine(num_parties, rng=rng, bit_width=32)
+    values = [engine.input_value(rng.randrange(100)) for _ in range(4)]
+    mul = _timed(lambda: engine.mul(values[0], values[1]), repeats)
+    cmp_ = _timed(lambda: engine.less_than(values[0], values[1]), repeats)
+    noise = _timed(lambda: shared_gumbel_noise(engine, 1.0, rng), repeats // 4 or 1)
+    return {"mul": mul, "comparison": cmp_, "noise": noise, "engine": engine}
+
+
+def test_relative_op_ordering(benchmark):
+    """Measured: noise > comparison > multiplication — the ordering the
+    model's triple counts encode (1 : ~180 : ~2000)."""
+    measured = benchmark.pedantic(_measure_primitives, rounds=1, iterations=1)
+    print()
+    print(
+        f"measured per-op seconds: mul={measured['mul'] * 1e3:.2f} ms, "
+        f"comparison={measured['comparison'] * 1e3:.2f} ms, "
+        f"noise={measured['noise'] * 1e3:.2f} ms"
+    )
+    assert measured["comparison"] > measured["mul"]
+
+    model_mul = MODEL.compute_seconds(Work(mpc_triples=1))
+    model_cmp = MODEL.compute_seconds(Work(mpc_comparisons=1))
+    model_ratio = model_cmp / model_mul
+    measured_ratio = measured["comparison"] / measured["mul"]
+    print(
+        f"comparison/mul ratio: model={model_ratio:.0f}, measured={measured_ratio:.0f}"
+    )
+    # The model's comparison is priced at ~180 triples plus round latency;
+    # the in-process engine has no network, so only the triple-count part
+    # of the ratio is observable. Same order of magnitude suffices.
+    assert 0.05 < measured_ratio / (model_ratio * 0.55) < 20
+
+
+def test_committee_size_scaling(benchmark):
+    """Measured per-member work grows with committee size, as the model's
+    peer-proportional traffic/compute terms predict."""
+
+    def measure():
+        times = {}
+        for parties in (4, 8, 16):
+            rng = random.Random(parties)
+            engine = MPCEngine(parties, rng=rng, bit_width=32)
+            a, b = engine.input_value(3), engine.input_value(9)
+            times[parties] = _timed(lambda: engine.less_than(a, b), 10)
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for parties, seconds in times.items():
+        print(f"  {parties:2d} parties: {seconds * 1e3:.2f} ms per comparison")
+    assert times[16] > times[4]
+
+    model_small = MODEL.traffic_bytes(Work(mpc_comparisons=1), committee_size=4)
+    model_large = MODEL.traffic_bytes(Work(mpc_comparisons=1), committee_size=16)
+    assert model_large > model_small
+
+
+def test_calibrated_model_orders_like_default(benchmark):
+    """A CostCO-style auto-calibrated model (measured on this machine)
+    ranks plan candidates the same way as the paper-anchored model."""
+    from repro.planner.costmodel import Goal
+    from repro.planner.search import Planner
+    from tests.conftest import small_env
+
+    def run():
+        env = small_env(num_participants=10**9, categories=2**15, epsilon=0.1)
+        source = "aggr = sum(db); output(em(aggr));"
+        default_plan = Planner(env).plan_source(source, "default-model")
+        calibrated = CostModel.calibrated_from_engine(
+            num_parties=4, operations=8, platform_scale=50.0
+        )
+        calibrated_plan = Planner(env, model=calibrated).plan_source(
+            source, "calibrated-model"
+        )
+        return default_plan, calibrated_plan
+
+    default_plan, calibrated_plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("default model chose:   ", default_plan.plan.choices["select_max[2]"])
+    print("calibrated model chose:", calibrated_plan.plan.choices["select_max[2]"])
+    # Both models must at least agree on the em instantiation family at
+    # this scale (committee MPC wins at N=10^9).
+    assert default_plan.plan.choices["select_max[2]"].split("[")[0] == (
+        calibrated_plan.plan.choices["select_max[2]"].split("[")[0]
+    )

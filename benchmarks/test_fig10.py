@@ -1,0 +1,16 @@
+"""Figure 10 — scalability of top1 from N=2^17 to 2^30 under aggregator
+limits (A=1000, A=5000 core-hours, and unlimited)."""
+
+from repro.eval.experiments import fig10, print_fig10
+
+
+def test_fig10(benchmark):
+    points = benchmark.pedantic(fig10, rounds=1, iterations=1)
+    assert len(points) == 14 * 3
+    # The A=1000 line must stop (infeasible) before 2^30, like the paper's.
+    limited = [p for p in points if p.limit_core_hours == 1000.0]
+    assert any(p.aggregator_hours is None for p in limited)
+    unlimited = [p for p in points if p.limit_core_hours is None]
+    assert all(p.aggregator_hours is not None for p in unlimited)
+    print()
+    print_fig10()

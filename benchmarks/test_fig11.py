@@ -1,0 +1,17 @@
+"""Figure 11 — power consumption of committee service on a Raspberry Pi 4."""
+
+from repro.eval.power import (
+    BATTERY_BUDGET_FRACTION,
+    IPHONE_SE_BATTERY_MAH,
+    fig11,
+    print_fig11,
+)
+
+
+def test_fig11(benchmark):
+    rows = benchmark.pedantic(fig11, rounds=1, iterations=1)
+    assert len(rows) == 10
+    budget = BATTERY_BUDGET_FRACTION * IPHONE_SE_BATTERY_MAH
+    assert all(r.mah <= budget for r in rows)
+    print()
+    print_fig11()

@@ -1,0 +1,13 @@
+"""Figure 6 — expected per-participant bandwidth and computation."""
+
+from repro.eval.experiments import fig6, print_fig6
+
+
+def test_fig6(benchmark):
+    rows = benchmark.pedantic(fig6, rounds=1, iterations=1)
+    arboretum = [r for r in rows if r.system == "arboretum"]
+    assert len(arboretum) == 10
+    legacy = [r for r in rows if r.system != "arboretum"]
+    assert {r.system for r in legacy} == {"Honeycrisp", "Orchard"}
+    print()
+    print_fig6()

@@ -1,0 +1,19 @@
+"""Figure 7 — per-member committee cost by committee type."""
+
+from repro.eval.experiments import (
+    committee_selection_fraction,
+    fig7,
+    print_fig7,
+)
+
+
+def test_fig7(benchmark):
+    rows = benchmark.pedantic(fig7, rounds=1, iterations=1)
+    types = {r.committee_type for r in rows if r.system == "arboretum"}
+    assert types == {"keygen", "decryption", "operations"}
+    print()
+    print_fig7()
+    print()
+    for query in ("top1", "topK", "median", "k-medians"):
+        frac = committee_selection_fraction(query)
+        print(f"fraction of participants on any committee ({query}): {frac * 100:.4f}%")

@@ -1,0 +1,11 @@
+"""Figure 8 — aggregator bandwidth and computation (1,000 cores)."""
+
+from repro.eval.experiments import fig8, print_fig8
+
+
+def test_fig8(benchmark):
+    rows = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    arboretum = [r for r in rows if r.system == "arboretum"]
+    assert len(arboretum) == 10
+    print()
+    print_fig8()

@@ -1,0 +1,39 @@
+"""Figure 9 — runtime of the query planner on each catalog query.
+
+The benchmark target is the planner itself (this is the figure whose
+y-axis *is* planner wall-clock); statistics per query are printed after.
+"""
+
+from repro.eval.experiments import fig9, print_fig9
+from repro.eval.experiments import plan_paper_query
+from repro.queries.catalog import get
+
+
+def test_fig9_all_queries(benchmark):
+    rows = benchmark.pedantic(fig9, rounds=1, iterations=1)
+    assert len(rows) == 10
+    by_query = {r.query: r for r in rows}
+    # Shape: the trivial single-category Laplace queries plan fastest; the
+    # richer EM queries explore far larger spaces (§7.3).
+    assert by_query["cms"].runtime_seconds < by_query["median"].runtime_seconds
+    assert by_query["hypotest"].space_size < by_query["median"].space_size
+    print()
+    print_fig9()
+
+
+def test_fig9_median_planning(benchmark):
+    """The slowest planner run in the paper (212 s there, model-scale here)."""
+    spec = get("median")
+    result = benchmark.pedantic(
+        lambda: plan_paper_query(spec, use_cache=False), rounds=1, iterations=1
+    )
+    assert result.succeeded
+
+
+def test_fig9_hypotest_planning(benchmark):
+    """The fastest planner run in the paper (~10 ms)."""
+    spec = get("hypotest")
+    result = benchmark.pedantic(
+        lambda: plan_paper_query(spec, use_cache=False), rounds=3, iterations=1
+    )
+    assert result.succeeded

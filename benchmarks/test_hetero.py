@@ -1,0 +1,20 @@
+"""§7.5 — heterogeneity effects on the Gumbel MPC (geo-distribution and
+slow devices). The benchmark target runs the real 42-party MPC."""
+
+from repro.eval.hetero import heterogeneity_experiment, print_hetero
+
+
+def test_heterogeneity(benchmark):
+    results = benchmark.pedantic(
+        lambda: heterogeneity_experiment(num_parties=42, num_scores=8),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {r.scenario: r for r in results}
+    geo = by_name["geo-distributed"]
+    slow = by_name["4 slow devices"]
+    # Paper anchors: +606% (geo), +51% (slow devices).
+    assert 300 < geo.increase_pct < 900
+    assert 20 < slow.increase_pct < 120
+    print()
+    print_hetero()

@@ -1,0 +1,10 @@
+"""Table 1 — strawman comparison for the zip-code example (§3.2)."""
+
+from repro.eval.experiments import print_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    assert len(rows) == 5
+    print()
+    print_table1()

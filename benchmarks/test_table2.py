@@ -1,0 +1,10 @@
+"""Table 2 — the supported queries and their line counts."""
+
+from repro.eval.experiments import print_table2, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert len(rows) == 10
+    print()
+    print_table2()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A tour of the query planner: how constraints and goals reshape plans.
+
+Reproduces the §7.6 story interactively: as the deployment grows, the
+aggregator's mandatory work grows linearly; when the analyst caps the
+aggregator's budget, Arboretum outsources the aggregation to participant
+sum trees — an option single-committee systems simply do not have — until
+even the non-outsourceable ZKP checks exceed the limit and planning fails.
+
+Run:  python examples/planner_tour.py
+"""
+
+from repro import Constraints, Goal, Planner, PlanningFailed, QueryEnvironment
+
+QUERY = """
+aggr = sum(db);
+result = em(aggr);
+output(result);
+"""
+
+
+def plan(env, constraints=None, goal=None):
+    planner = Planner(env, constraints=constraints, goal=goal or Goal())
+    return planner.plan_source(QUERY, name="top1")
+
+
+def describe(result, label):
+    cost = result.plan.cost
+    aggregate_choice = result.plan.choices.get("aggregate[1]", "?")
+    print(
+        f"{label:28s} sum via {aggregate_choice:24s} "
+        f"agg={cost.aggregator_core_seconds / 3600:9.1f} core-h   "
+        f"exp={cost.participant_expected_seconds:6.2f}s   "
+        f"max={cost.participant_max_seconds / 60:5.1f}min"
+    )
+
+
+def main() -> None:
+    print("=== different goals, same query (N = 2^30, C = 2^15) ===")
+    env = QueryEnvironment(num_participants=2**30, row_width=2**15, epsilon=0.1)
+    for metric in (
+        "participant_expected_seconds",
+        "participant_expected_bytes",
+        "aggregator_core_seconds",
+        "participant_max_seconds",
+    ):
+        result = plan(env, goal=Goal(metric))
+        describe(result, f"minimize {metric.split('_', 1)[1]}")
+
+    print()
+    print("=== squeezing the aggregator (Fig 10) ===")
+    flat = plan(env, goal=Goal("participant_expected_bytes"))
+    describe(flat, "no limit")
+    flat_hours = flat.plan.cost.aggregator_core_seconds / 3600
+    for fraction in (0.99, 0.95):
+        limit = flat_hours * fraction
+        result = plan(
+            env,
+            constraints=Constraints(aggregator_core_seconds=limit * 3600),
+            goal=Goal("participant_expected_bytes"),
+        )
+        describe(result, f"limit {limit:,.0f} core-h")
+    try:
+        plan(env, constraints=Constraints(aggregator_core_seconds=100 * 3600))
+        raise AssertionError("expected planning to fail")
+    except PlanningFailed:
+        print(
+            f"{'limit 100 core-h':28s} INFEASIBLE — the aggregator cannot even "
+            f"check the input ZKPs (the Fig 10 red line stops)"
+        )
+
+    print()
+    print("=== scale changes the best plan ===")
+    for exponent in (17, 22, 26, 30):
+        env_n = QueryEnvironment(
+            num_participants=2**exponent, row_width=2**15, epsilon=0.1
+        )
+        result = plan(env_n)
+        selection = result.plan.choices.get("select_max[2]", "?")
+        print(
+            f"N = 2^{exponent:2d}: em via {selection:28s} "
+            f"({result.plan.committee_params.num_committees:6d} committees of "
+            f"{result.plan.committee_params.committee_size})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and execute a federated "most frequent item" query.
+
+This walks the whole Arboretum pipeline on a small simulated deployment:
+
+1. write the query as if the database were local (§4.1);
+2. certify it as differentially private and plan it (§4);
+3. execute the chosen plan over a network of devices with real crypto —
+   Paillier aggregation, ZKP-checked uploads, sortition-selected MPC
+   committees, VSR hand-offs (§5).
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import FederatedNetwork, Planner, QueryEnvironment, QueryExecutor
+
+QUERY = """
+aggr = sum(db);
+result = em(aggr);
+output(result);
+"""
+
+CATEGORIES = 8
+DEVICES = 48
+
+
+def main() -> None:
+    # --- plan ---------------------------------------------------------
+    env = QueryEnvironment(
+        num_participants=DEVICES, row_width=CATEGORIES, epsilon=4.0
+    )
+    planning = Planner(env).plan_source(QUERY, name="top1")
+    print("certified:  ε =", planning.certificate.epsilon)
+    print(planning.plan.describe())
+    stats = planning.statistics
+    print(
+        f"planner explored {stats.prefixes_considered} plan prefixes and "
+        f"scored {stats.candidates_scored} candidates in "
+        f"{stats.runtime_seconds * 1000:.0f} ms"
+    )
+
+    # --- deploy -------------------------------------------------------
+    rng = random.Random(7)
+    network = FederatedNetwork(DEVICES, rng=rng, malicious_fraction=0.05)
+    # Make category 3 the true favourite.
+    network.load_categorical_data(
+        CATEGORIES, distribution=[1, 1, 1, 25, 1, 1, 1, 1]
+    )
+
+    # --- execute ------------------------------------------------------
+    executor = QueryExecutor(network, planning, committee_size=4, rng=rng)
+    result = executor.run()
+    print()
+    for event in result.events:
+        print("  ", event)
+    print()
+    print(f"malformed uploads rejected: {result.rejected_devices}")
+    print(f"committees involved:        {result.committees_used}")
+    print(f"most frequent category:     {result.value} (truth: 3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The paper's running example: "Which US zip code contains the most
+participants?" (§3.2) — 10^8 participants, 41,683 possible zip codes.
+
+This example uses Arboretum as an analyst would at deployment scale:
+
+* it shows why the strawmen fail (FHE-only takes years; all-to-all MPC
+  needs petabytes; Böhler's committee drowns in traffic; Orchard's single
+  committee cannot run the exponential mechanism over 41,683 categories);
+* it plans the query under the §7.2 resource limits and prints the chosen
+  plan and its six-metric cost report;
+* it then executes the same query end-to-end on a scaled-down deployment
+  to show the plan actually works.
+
+Run:  python examples/zipcode_survey.py
+"""
+
+import random
+
+from repro import Constraints, FederatedNetwork, Planner, QueryEnvironment, QueryExecutor
+from repro.baselines.bohler import bohler_member_traffic
+from repro.baselines.orchard import BaselineUnsupported, orchard_score
+from repro.baselines.strawmen import all_to_all_mpc, fhe_only
+
+ZIPCODES = 41_683
+PARTICIPANTS = 10**8
+
+QUERY = """
+aggr = sum(db);
+zip = em(aggr);
+output(zip);
+"""
+
+
+def show_strawmen() -> None:
+    print("=== why the obvious designs fail (Table 1) ===")
+    fhe = fhe_only(PARTICIPANTS, ZIPCODES)
+    print(f"FHE only:        ~{fhe.aggregator_core_years:,.0f} core-years at the aggregator")
+    mpc = all_to_all_mpc(PARTICIPANTS)
+    print(f"all-to-all MPC:  {mpc.participant_bytes_typical / 1e12:,.0f} TB per participant")
+    bohler = bohler_member_traffic(PARTICIPANTS, committee_size=40)
+    print(f"Böhler [14]:     {bohler.member_traffic_tb:,.1f} TB per committee member")
+    env = QueryEnvironment(num_participants=PARTICIPANTS, row_width=ZIPCODES)
+    try:
+        orchard_score(env, released_values=ZIPCODES, uses_em=True)
+    except BaselineUnsupported as reason:
+        print(f"Orchard [54]:    {reason}")
+    print()
+
+
+def plan_at_scale():
+    print("=== Arboretum's plan (N=10^8, 41,683 zip codes) ===")
+    env = QueryEnvironment(
+        num_participants=PARTICIPANTS, row_width=ZIPCODES, epsilon=0.1
+    )
+    planner = Planner(
+        env,
+        constraints=Constraints(
+            participant_max_bytes=4e9,  # 4 GB per device (§7.2)
+            participant_max_seconds=20 * 60,  # 20 minutes
+        ),
+    )
+    result = planner.plan_source(QUERY, name="zipcode")
+    print(result.plan.describe())
+    cost = result.plan.cost
+    print()
+    print("cost report:")
+    print(f"  aggregator compute:     {cost.aggregator_core_seconds / 3600:,.0f} core-hours")
+    print(f"  aggregator traffic:     {cost.aggregator_bytes / 1e12:,.0f} TB")
+    print(f"  participant (expected): {cost.participant_expected_seconds:.1f} s, "
+          f"{cost.participant_expected_bytes / 1e6:.2f} MB")
+    print(f"  participant (maximum):  {cost.participant_max_seconds / 60:.1f} min, "
+          f"{cost.participant_max_bytes / 1e9:.2f} GB")
+    params = result.plan.committee_params
+    print(f"  committees: {params.num_committees:,} of {params.committee_size} members "
+          f"({params.selection_fraction(PARTICIPANTS) * 100:.4f}% of devices serve)")
+    print()
+
+
+def run_scaled_down() -> None:
+    print("=== end-to-end execution (scaled-down deployment) ===")
+    categories, devices = 16, 64
+    env = QueryEnvironment(num_participants=devices, row_width=categories, epsilon=4.0)
+    planning = Planner(env).plan_source(QUERY, name="zipcode-small")
+    rng = random.Random(2026)
+    network = FederatedNetwork(devices, rng=rng, malicious_fraction=0.05)
+    # Zip code 11 is the most populous.
+    weights = [1.0] * categories
+    weights[11] = 20.0
+    network.load_categorical_data(categories, distribution=weights)
+    result = QueryExecutor(network, planning, committee_size=4, rng=rng).run()
+    print(f"  rejected malformed uploads: {result.rejected_devices}")
+    print(f"  committees involved:        {result.committees_used}")
+    print(f"  winning zip-code bucket:    {result.value} (truth: 11)")
+
+
+def main() -> None:
+    show_strawmen()
+    plan_at_scale()
+    run_scaled_down()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environment lacks the
+``wheel`` package needed for PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

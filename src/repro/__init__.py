@@ -1,0 +1,68 @@
+"""Arboretum reproduction: a planner for large-scale federated analytics
+with differential privacy (Margolin et al., SOSP 2023).
+
+Public API tour
+---------------
+
+Planning (the paper's core contribution, §4)::
+
+    from repro import QueryEnvironment, Planner, Constraints, Goal
+
+    env = QueryEnvironment(num_participants=10**9, row_width=2**15)
+    planner = Planner(env, constraints=Constraints(participant_max_bytes=4e9))
+    result = planner.plan_source("aggr = sum(db); output(em(aggr));")
+    print(result.plan.describe())
+
+Execution (§5) on a simulated deployment::
+
+    from repro import FederatedNetwork, QueryExecutor
+
+    network = FederatedNetwork(64)
+    network.load_categorical_data(8)
+    outcome = QueryExecutor(network, result).run()
+
+Evaluation — every table and figure of §7 — lives in ``repro.eval``.
+"""
+
+from .analysis.types import QueryEnvironment
+from .planner.costmodel import Constraints, CostModel, CostVector, Goal
+from .planner.search import (
+    Planner,
+    PlannerOutOfMemory,
+    PlanningFailed,
+    PlanningResult,
+    plan_query,
+)
+from .privacy.accountant import BudgetExceeded, PrivacyAccountant, PrivacyCost
+from .privacy.certify import Certificate, CertificationError, certify
+from .queries.catalog import ALL_QUERIES, QuerySpec
+from .runtime.executor import QueryExecutor, QueryRejected, QueryResult
+from .runtime.network import FederatedNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryEnvironment",
+    "Planner",
+    "PlanningResult",
+    "PlanningFailed",
+    "PlannerOutOfMemory",
+    "plan_query",
+    "Constraints",
+    "Goal",
+    "CostModel",
+    "CostVector",
+    "Certificate",
+    "CertificationError",
+    "certify",
+    "PrivacyAccountant",
+    "PrivacyCost",
+    "BudgetExceeded",
+    "FederatedNetwork",
+    "QueryExecutor",
+    "QueryResult",
+    "QueryRejected",
+    "ALL_QUERIES",
+    "QuerySpec",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Static analysis: basic-type and value-range inference (§4.4)."""
+
+from .ranges import Interval, bits_needed, point
+from .types import AnalysisError, QueryEnvironment, TypeChecker, ValueType, infer_types
+
+__all__ = [
+    "Interval",
+    "point",
+    "bits_needed",
+    "AnalysisError",
+    "QueryEnvironment",
+    "TypeChecker",
+    "ValueType",
+    "infer_types",
+]

@@ -1,0 +1,34 @@
+"""Honeycrisp baseline (Roth et al., SOSP 2019).
+
+Honeycrisp is the predecessor of Orchard: the same single-committee
+architecture (keygen, noising, decryption) but specialized to one query —
+the count-mean-sketch aggregation Apple uses for telemetry. Cost-wise it
+behaves like Orchard with a single released sketch; we model it the same
+way and expose it for the cms comparison bars in Figs 6-8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.types import QueryEnvironment
+from ..planner.costmodel import CostModel
+from ..planner.plan import PlanScore
+from .orchard import BaselineUnsupported, orchard_score
+
+
+def honeycrisp_score(
+    env: QueryEnvironment,
+    released_values: int = 1,
+    model: Optional[CostModel] = None,
+) -> PlanScore:
+    """Score a Honeycrisp execution of the cms-style aggregation.
+
+    Honeycrisp supports exactly one kind of query (a noised sum/sketch);
+    anything with the exponential mechanism is out of scope.
+    """
+    return orchard_score(env, released_values, uses_em=False, model=model)
+
+
+def supports(query_name: str) -> bool:
+    return query_name == "cms"

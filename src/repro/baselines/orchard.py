@@ -1,0 +1,122 @@
+"""Orchard-style baseline (Roth et al., OSDI 2020).
+
+Orchard sums the encrypted inputs at the aggregator (like Arboretum) but
+uses a *single* committee for key generation, noising, and decryption. For
+Laplace-style queries this is nearly optimal — which is why Arboretum's
+costs match it in expectation (§7.2) — but the lone committee must decrypt
+and noise *every* released value itself, so its per-member cost grows with
+the number of categories, and the exponential mechanism is only feasible
+for tens of categories (§3.2).
+
+The baseline is expressed as a vignette list scored by the same cost model
+as Arboretum's plans, mirroring the paper's methodology of re-implementing
+the Orchard/Honeycrisp MPCs in MP-SPDZ for a fair comparison (§7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..analysis.types import QueryEnvironment
+from ..planner.committees import CommitteeParameters
+from ..planner.costmodel import CostModel, Work, ahe_params_for
+from ..planner.plan import Location, PlanScore, Vignette, score_vignettes
+
+#: Orchard's exponential mechanism supports only "tens of categories"
+#: before the single committee becomes the bottleneck (§3.2).
+ORCHARD_EM_CATEGORY_LIMIT = 64
+
+
+class BaselineUnsupported(Exception):
+    """Raised when a baseline cannot run the query at all."""
+
+
+def orchard_vignettes(
+    env: QueryEnvironment,
+    released_values: int,
+    uses_em: bool,
+    model: CostModel,
+):
+    """Build the Orchard execution as a vignette list.
+
+    ``released_values`` is the number of scalars the committee must noise
+    and release; for an EM query it is the number of categories whose
+    scores feed the in-committee selection.
+    """
+    if uses_em and env.row_width > ORCHARD_EM_CATEGORY_LIMIT:
+        raise BaselineUnsupported(
+            f"Orchard's single committee cannot run the exponential mechanism "
+            f"over {env.row_width} categories (limit ~{ORCHARD_EM_CATEGORY_LIMIT})"
+        )
+    n = env.num_participants
+    scheme = ahe_params_for(env.row_width)
+    cts = max(1, math.ceil(env.row_width / scheme.slots))
+    constants = model.constants
+
+    audit_bytes = constants["audit_leaves_per_device"] * (
+        scheme.ciphertext_bytes + constants["merkle_path_bytes"]
+    )
+    chunk = constants["zkp_chunk_slots"]
+    proofs_per_device = max(1, math.ceil(env.row_width / chunk))
+    input_work = Work(
+        he_encryptions=cts,
+        ring_slots=scheme.slots,
+        zkp_proofs=proofs_per_device,
+        zkp_constraint_slots=min(float(env.row_width), chunk),
+        payload_bytes_sent=cts * scheme.ciphertext_bytes,
+        payload_bytes_received=scheme.public_key_bytes
+        + constants["certificate_bytes"]
+        + audit_bytes,
+        hash_bytes=audit_bytes,
+        fixed_seconds=constants["sortition_signature_seconds"],
+    )
+    verify_work = Work(zkp_verifications=n * proofs_per_device, hash_bytes=n * 64.0)
+    broadcast_work = Work(
+        payload_bytes_sent=n
+        * (scheme.public_key_bytes + constants["certificate_bytes"] + audit_bytes)
+    )
+    aggregate_work = Work(he_additions=float(n) * cts, ring_slots=scheme.slots)
+
+    # The single committee: keygen, then decryption of the aggregate, then
+    # noising of every released value (and, for small EM, the comparisons).
+    committee_work = Work(
+        dist_keygens=1.0,
+        mpc_setup=1.0,
+        mpc_rounds=30.0,
+        dist_decryptions=float(cts),
+        ring_slots=scheme.slots,
+        mpc_noise_samples=float(released_values),
+        mpc_comparisons=float(env.row_width - 1) if uses_em else 0.0,
+        payload_bytes_received=cts * scheme.ciphertext_bytes,
+        payload_bytes_sent=64.0 * released_values,
+    )
+    return [
+        Vignette("input", Location.PARTICIPANT, scheme.name, input_work, instances=n),
+        Vignette(
+            "committee",
+            Location.COMMITTEE,
+            "mpc",
+            committee_work,
+            instances=1.0,
+            committee_group="orchard",
+            committee_type="keygen",
+        ),
+        Vignette("verify", Location.AGGREGATOR, "clear", verify_work),
+        Vignette("forwarding", Location.AGGREGATOR, "clear", broadcast_work),
+        Vignette("aggregate", Location.AGGREGATOR, scheme.name, aggregate_work),
+    ], scheme
+
+
+def orchard_score(
+    env: QueryEnvironment,
+    released_values: int,
+    uses_em: bool = False,
+    model: Optional[CostModel] = None,
+) -> PlanScore:
+    """Score an Orchard-style execution with the shared cost model."""
+    model = model or CostModel()
+    vignettes, _scheme = orchard_vignettes(env, released_values, uses_em, model)
+    # Orchard always runs exactly one committee.
+    params = CommitteeParameters.for_plan(1)
+    return score_vignettes(vignettes, env.num_participants, model, committee_params=params)

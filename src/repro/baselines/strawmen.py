@@ -1,0 +1,97 @@
+"""The strawman designs of §3.2 / Table 1.
+
+Quantifies, with the same cost constants as the rest of the system, why
+the naive approaches fail at scale for the running example — "which US zip
+code contains the most participants?" (N = 10^8, R = 41,683 categories):
+
+* **FHE only** — the aggregator evaluates the whole exponential mechanism
+  on per-participant FHE ciphertexts: a ~40-trillion-gate circuit that
+  takes years;
+* **all-to-all MPC** — per-participant bandwidth scales linearly with N,
+  reaching petabytes;
+* **MPC committee** (Böhler) — feasible to ~10^6 participants, TB-scale
+  committee traffic beyond;
+* **HE + single committee** (Orchard) — scales, but the exponential
+  mechanism is limited to tens of categories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: §3.2's running example.
+ZIPCODE_PARTICIPANTS = 10**8
+ZIPCODE_CATEGORIES = 41_683
+
+#: Boolean-circuit FHE throughput (TFHE-class gate bootstrapping) on a
+#: server core: ~100 gates/second is generous for 2023 hardware.
+FHE_GATES_PER_SECOND = 100.0
+
+#: Gates to evaluate one participant's contribution to one category's
+#: quality score inside the full-FHE strawman (comparison + addition over
+#: encrypted per-user rows ≈ 10k gates at 32-bit width).
+FHE_GATES_PER_SCORE_UPDATE = 10_000.0
+
+#: Per-pair bandwidth of one all-to-all MPC round (share + MAC).
+MPC_BYTES_PER_PAIR = 10_000.0
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class StrawmanEstimate:
+    approach: str
+    aggregator_core_years: float = 0.0
+    participant_bytes_typical: float = 0.0
+    participant_bytes_worst: float = 0.0
+    supports_large_em: bool = False
+    note: str = ""
+
+
+def fhe_only(
+    num_participants: int = ZIPCODE_PARTICIPANTS,
+    categories: int = ZIPCODE_CATEGORIES,
+) -> StrawmanEstimate:
+    """Everything under FHE at the aggregator (§3.2, 'FHE only')."""
+    gates = num_participants * FHE_GATES_PER_SCORE_UPDATE
+    # Quality scores for all categories come from one pass over the
+    # encrypted inputs per category batch; the dominant term is the
+    # per-participant update repeated across categories / SIMD width.
+    simd_width = 2**15
+    gates *= max(1.0, categories / simd_width) * 10
+    seconds = gates / FHE_GATES_PER_SECOND
+    return StrawmanEstimate(
+        approach="FHE only",
+        aggregator_core_years=seconds / SECONDS_PER_YEAR,
+        participant_bytes_typical=5e6,
+        participant_bytes_worst=5e6,
+        supports_large_em=True,
+        note=f"~{gates:.1e} gates; aggregator must also be trusted with the key",
+    )
+
+
+def all_to_all_mpc(num_participants: int = ZIPCODE_PARTICIPANTS) -> StrawmanEstimate:
+    """Every participant joins one giant MPC (§3.2, 'All-to-all MPC')."""
+    per_participant = num_participants * MPC_BYTES_PER_PAIR
+    return StrawmanEstimate(
+        approach="All-to-all MPC",
+        participant_bytes_typical=per_participant,
+        participant_bytes_worst=per_participant,
+        supports_large_em=True,
+        note="bandwidth O(N) per participant; no practical protocol beyond a few hundred parties",
+    )
+
+
+def gate_count_fhe_only(
+    num_participants: int = ZIPCODE_PARTICIPANTS,
+    categories: int = ZIPCODE_CATEGORIES,
+) -> float:
+    """The paper's '40-trillion-gate circuit' estimate for reference."""
+    simd_width = 2**15
+    return (
+        num_participants
+        * FHE_GATES_PER_SCORE_UPDATE
+        * max(1.0, categories / simd_width)
+        * 10
+    )

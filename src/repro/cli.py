@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``plan``     certify + plan a query (from a file or inline) and print the
+             chosen plan with its six-metric cost report.
+``run``      plan a query and execute it end-to-end on a simulated
+             deployment, printing the protocol transcript and the answer.
+``queries``  list the built-in Table 2 queries.
+``eval``     regenerate an evaluation artifact (table1, table2, fig6..fig11,
+             hetero, or all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis.types import QueryEnvironment
+from .planner.costmodel import Constraints, CostVector, Goal
+from .planner.search import Planner, PlanningFailed
+from .queries.catalog import ALL_QUERIES, BY_NAME
+
+
+def _read_query(args) -> str:
+    if args.query_file == "-":
+        return sys.stdin.read()
+    if args.query_file in BY_NAME:
+        return BY_NAME[args.query_file].source
+    with open(args.query_file) as handle:
+        return handle.read()
+
+
+def _environment(args) -> QueryEnvironment:
+    spec = BY_NAME.get(args.query_file)
+    if spec is not None:
+        return spec.environment(
+            num_participants=args.participants,
+            categories=args.categories,
+            epsilon=args.epsilon,
+        )
+    return QueryEnvironment(
+        num_participants=args.participants,
+        row_width=args.categories,
+        epsilon=args.epsilon,
+        sensitivity=args.sensitivity,
+    )
+
+
+def _constraints(args) -> Constraints:
+    return Constraints(
+        aggregator_core_seconds=(
+            args.max_aggregator_core_hours * 3600
+            if args.max_aggregator_core_hours
+            else None
+        ),
+        participant_max_seconds=(
+            args.max_participant_minutes * 60 if args.max_participant_minutes else None
+        ),
+        participant_max_bytes=(
+            args.max_participant_gb * 1e9 if args.max_participant_gb else None
+        ),
+    )
+
+
+def _print_cost(cost: CostVector) -> None:
+    print("cost report:")
+    print(f"  aggregator compute:     {cost.aggregator_core_seconds / 3600:,.1f} core-hours")
+    print(f"  aggregator traffic:     {cost.aggregator_bytes / 1e12:,.1f} TB")
+    print(
+        f"  participant (expected): {cost.participant_expected_seconds:.1f} s, "
+        f"{cost.participant_expected_bytes / 1e6:.2f} MB"
+    )
+    print(
+        f"  participant (maximum):  {cost.participant_max_seconds / 60:.1f} min, "
+        f"{cost.participant_max_bytes / 1e9:.2f} GB"
+    )
+
+
+def cmd_plan(args) -> int:
+    source = _read_query(args)
+    env = _environment(args)
+    planner = Planner(env, constraints=_constraints(args), goal=Goal(args.goal))
+    try:
+        result = planner.plan_source(source, name=args.query_file)
+    except PlanningFailed as failure:
+        print(f"planning failed: {failure}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        from .planner.serialize import planning_result_to_dict
+
+        print(json.dumps(planning_result_to_dict(result), indent=2))
+        return 0
+    print(f"certified: ε = {result.certificate.epsilon:g}, "
+          f"δ = {result.certificate.delta:.2e}")
+    print(result.plan.describe())
+    if args.explain:
+        print()
+        print(result.plan.explain(planner.model, env.num_participants))
+    _print_cost(result.plan.cost)
+    stats = result.statistics
+    print(
+        f"planner: {stats.prefixes_considered} prefixes, "
+        f"{stats.candidates_scored} candidates, "
+        f"{stats.runtime_seconds * 1000:.0f} ms"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .runtime.executor import QueryExecutor
+    from .runtime.network import FederatedNetwork
+
+    source = _read_query(args)
+    rng = random.Random(args.seed)
+    env = QueryEnvironment(
+        num_participants=args.devices,
+        row_width=args.categories,
+        epsilon=args.epsilon,
+        sensitivity=args.sensitivity,
+    )
+    planner = Planner(env)
+    result = planner.plan_source(source, name=args.query_file)
+    network = FederatedNetwork(
+        args.devices, rng=rng, malicious_fraction=args.malicious
+    )
+    network.load_categorical_data(args.categories)
+    executor = QueryExecutor(
+        network, result, committee_size=args.committee_size, rng=rng
+    )
+    outcome = executor.run()
+    for event in outcome.events:
+        print(" ", event)
+    print(f"rejected: {outcome.rejected_devices}")
+    print(f"output(s): {outcome.outputs}")
+    return 0
+
+
+def cmd_queries(_args) -> int:
+    print(f"{'name':12s} {'action':28s} {'from':8s} {'lines':>5s}")
+    for spec in ALL_QUERIES:
+        print(f"{spec.name:12s} {spec.action:28s} {spec.source_paper:8s} {spec.lines:>5d}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from .eval import experiments, hetero, power
+
+    if args.export:
+        from .eval.export import export_all
+
+        for path in export_all(args.export):
+            print(f"wrote {path}")
+        return 0
+
+    from .eval import report as report_module
+
+    targets = {
+        "report": lambda: report_module.main("REPORT.md"),
+        "table1": experiments.print_table1,
+        "table2": experiments.print_table2,
+        "fig6": experiments.print_fig6,
+        "fig7": experiments.print_fig7,
+        "fig8": experiments.print_fig8,
+        "fig9": experiments.print_fig9,
+        "fig10": experiments.print_fig10,
+        "fig11": power.print_fig11,
+        "hetero": hetero.print_hetero,
+    }
+    if args.artifact == "all":
+        for name, fn in targets.items():
+            fn()
+            print()
+        return 0
+    if args.artifact not in targets:
+        print(f"unknown artifact {args.artifact!r}; known: "
+              f"{', '.join([*targets, 'all'])}", file=sys.stderr)
+        return 1
+    targets[args.artifact]()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arboretum: plan and run federated analytics queries with DP",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="certify and plan a query")
+    plan.add_argument("query_file", help="query file, built-in query name, or '-' for stdin")
+    plan.add_argument("--participants", type=int, default=10**9)
+    plan.add_argument("--categories", type=int, default=2**15)
+    plan.add_argument("--epsilon", type=float, default=0.1)
+    plan.add_argument("--sensitivity", type=float, default=1.0)
+    plan.add_argument(
+        "--goal", default="participant_expected_seconds", choices=CostVector.METRICS
+    )
+    plan.add_argument("--max-aggregator-core-hours", type=float, default=None)
+    plan.add_argument("--max-participant-minutes", type=float, default=None)
+    plan.add_argument("--max-participant-gb", type=float, default=None)
+    plan.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    plan.add_argument(
+        "--explain", action="store_true",
+        help="print a per-vignette cost table for the chosen plan",
+    )
+    plan.set_defaults(func=cmd_plan)
+
+    run = sub.add_parser("run", help="plan and execute on a simulated deployment")
+    run.add_argument("query_file")
+    run.add_argument("--devices", type=int, default=48)
+    run.add_argument("--categories", type=int, default=8)
+    run.add_argument("--epsilon", type=float, default=4.0)
+    run.add_argument("--sensitivity", type=float, default=1.0)
+    run.add_argument("--committee-size", type=int, default=4)
+    run.add_argument("--malicious", type=float, default=0.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=cmd_run)
+
+    queries = sub.add_parser("queries", help="list the built-in queries")
+    queries.set_defaults(func=cmd_queries)
+
+    evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")
+    evaluate.add_argument(
+        "artifact", nargs="?", default="all",
+        help="table1|table2|fig6..fig11|hetero|report|all",
+    )
+    evaluate.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="write every artifact as CSV into DIR instead of printing",
+    )
+    evaluate.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Cryptographic substrate: fields, secret sharing, AHE, FHE model, Merkle
+trees, sortition, verifiable secret redistribution, and input ZKPs.
+
+See DESIGN.md for the substitution table mapping each module to the
+primitive the paper's C++ prototype used.
+"""
+
+from .field import DEFAULT_FIELD, PrimeField
+from .merkle import MerkleTree, verify_inclusion
+from .shamir import Share, reconstruct_secret, share_secret
+
+__all__ = [
+    "DEFAULT_FIELD",
+    "PrimeField",
+    "MerkleTree",
+    "verify_inclusion",
+    "Share",
+    "share_secret",
+    "reconstruct_secret",
+]

@@ -1,0 +1,266 @@
+"""A functional model of the BGV leveled FHE scheme.
+
+Arboretum's prototype uses BGV (§6) with SIMD slot packing: a typical query
+uses plaintext modulus ~2^30, a 135-bit ciphertext-modulus prime, and
+polynomial degree 2^15 (= 32,768 slots per ciphertext). The planner cares
+about BGV's *interface and cost structure* — slots, plaintext modulus,
+multiplicative depth, per-operation cost — not about lattice arithmetic, so
+this module is a faithful behavioural model rather than an RNS
+implementation (see DESIGN.md's substitution table):
+
+* ciphertexts carry their slot vector internally, but the only sanctioned
+  way to read it is ``decrypt`` with the matching private key;
+* every homomorphic operation consumes noise budget the way BGV does
+  (additions cost almost nothing, multiplications consume a level), and a
+  ciphertext whose budget is exhausted *fails to decrypt*, just like the
+  real scheme;
+* parameter selection follows the homomorphic-encryption security standard
+  tables the paper cites [6]: bigger ciphertext moduli require bigger ring
+  degrees for the same security level.
+
+All performance numbers come from the calibrated cost model, matching the
+paper's own extrapolation methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+# Security-standard table (ciphertext-modulus bits -> minimum log2(ring
+# degree) for >=128-bit security), coarsened from the HE standard [6].
+_SECURITY_TABLE = [
+    (27, 10),
+    (54, 11),
+    (109, 12),
+    (218, 13),
+    (438, 14),
+    (881, 15),
+]
+
+
+def min_ring_degree_log2(ciphertext_modulus_bits: int) -> int:
+    """Smallest log2(N) that keeps >=128-bit security for a modulus size."""
+    for max_bits, log_degree in _SECURITY_TABLE:
+        if ciphertext_modulus_bits <= max_bits:
+            return log_degree
+    raise ValueError(
+        f"no standard parameter set covers a {ciphertext_modulus_bits}-bit modulus"
+    )
+
+
+@dataclass(frozen=True)
+class BGVParams:
+    """BGV parameter set.
+
+    ``plaintext_modulus`` bounds slot values; ``ring_degree_log2`` fixes the
+    number of SIMD slots; ``ciphertext_modulus_bits`` determines both the
+    ciphertext size and the available noise budget (levels).
+    """
+
+    plaintext_modulus: int = 1 << 30
+    ring_degree_log2: int = 15
+    ciphertext_modulus_bits: int = 135
+
+    def __post_init__(self):
+        if self.plaintext_modulus < 2:
+            raise ValueError("plaintext modulus must be >= 2")
+        required = min_ring_degree_log2(self.ciphertext_modulus_bits)
+        if self.ring_degree_log2 < required:
+            raise ValueError(
+                f"ring degree 2^{self.ring_degree_log2} is insecure for a "
+                f"{self.ciphertext_modulus_bits}-bit modulus; need >= 2^{required}"
+            )
+
+    @property
+    def slots(self) -> int:
+        return 1 << self.ring_degree_log2
+
+    @property
+    def max_levels(self) -> int:
+        """Multiplicative depth this modulus supports.
+
+        Each multiplication consumes roughly log2(plaintext_modulus) + ~20
+        bits of modulus; what is left after accounting for the base noise is
+        the level budget.
+        """
+        per_level = self.plaintext_modulus.bit_length() + 20
+        budget = self.ciphertext_modulus_bits - 30  # base noise floor
+        return max(0, budget // per_level)
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized ciphertext size: 2 ring elements of N coefficients."""
+        return 2 * self.slots * ((self.ciphertext_modulus_bits + 7) // 8)
+
+    @property
+    def public_key_bytes(self) -> int:
+        return self.ciphertext_bytes
+
+    def for_depth(self, depth: int, plaintext_modulus: int = None) -> "BGVParams":
+        """Return the smallest standard parameter set supporting ``depth``.
+
+        The planner calls this after range inference (§4.4) to pick the
+        plaintext modulus and a ciphertext modulus big enough for the
+        multiplicative depth the instantiated operators need.
+        """
+        t = plaintext_modulus or self.plaintext_modulus
+        per_level = t.bit_length() + 20
+        needed_bits = 30 + per_level * max(depth, 0) + 5
+        needed_bits = max(needed_bits, 60)
+        return BGVParams(
+            plaintext_modulus=t,
+            ring_degree_log2=min_ring_degree_log2(needed_bits),
+            ciphertext_modulus_bits=needed_bits,
+        )
+
+
+@dataclass(frozen=True)
+class BGVPublicKey:
+    params: BGVParams
+    key_id: int
+
+
+@dataclass(frozen=True)
+class BGVPrivateKey:
+    public: BGVPublicKey
+
+    @property
+    def params(self) -> BGVParams:
+        return self.public.params
+
+
+@dataclass
+class BGVCiphertext:
+    """A ciphertext holding one value per SIMD slot.
+
+    ``level`` counts consumed multiplicative levels; once it exceeds
+    ``params.max_levels`` the ciphertext is undecryptable (noise overflow),
+    mirroring real BGV behaviour.
+    """
+
+    slots: Tuple[int, ...] = field(repr=False)
+    key_id: int
+    params: BGVParams
+    level: int = 0
+
+    def __post_init__(self):
+        if len(self.slots) != self.params.slots:
+            raise ValueError("slot vector length must equal the ring degree")
+
+
+class NoiseBudgetExceeded(Exception):
+    """Raised when an operation chain exceeds the parameter set's depth."""
+
+
+def keygen(params: BGVParams, rng: random.Random = None) -> BGVPrivateKey:
+    """Generate a keypair for the given parameter set."""
+    rng = rng or random.Random()
+    return BGVPrivateKey(BGVPublicKey(params, rng.getrandbits(63)))
+
+
+def _pad(values: Sequence[int], params: BGVParams) -> Tuple[int, ...]:
+    t = params.plaintext_modulus
+    padded = [v % t for v in values]
+    if len(padded) > params.slots:
+        raise ValueError(
+            f"{len(padded)} values do not fit in {params.slots} slots"
+        )
+    padded.extend([0] * (params.slots - len(padded)))
+    return tuple(padded)
+
+
+def encrypt(pk: BGVPublicKey, values: Sequence[int]) -> BGVCiphertext:
+    """Pack ``values`` into SIMD slots (zero-padded) and encrypt."""
+    return BGVCiphertext(_pad(values, pk.params), pk.key_id, pk.params)
+
+
+def decrypt(sk: BGVPrivateKey, ct: BGVCiphertext, count: int = None) -> List[int]:
+    """Decrypt the first ``count`` slots (all slots by default).
+
+    Fails if the key does not match or the noise budget is exhausted.
+    """
+    if ct.key_id != sk.public.key_id:
+        raise ValueError("ciphertext was produced under a different key")
+    if ct.level > ct.params.max_levels:
+        raise NoiseBudgetExceeded(
+            f"level {ct.level} exceeds budget {ct.params.max_levels}"
+        )
+    values = list(ct.slots)
+    return values if count is None else values[:count]
+
+
+def _check_compatible(a: BGVCiphertext, b: BGVCiphertext) -> None:
+    if a.key_id != b.key_id:
+        raise ValueError("ciphertexts under different keys cannot be combined")
+
+
+def add(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
+    """Slot-wise homomorphic addition; noise grows negligibly."""
+    _check_compatible(a, b)
+    t = a.params.plaintext_modulus
+    slots = tuple((x + y) % t for x, y in zip(a.slots, b.slots))
+    return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
+
+
+def sub(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
+    _check_compatible(a, b)
+    t = a.params.plaintext_modulus
+    slots = tuple((x - y) % t for x, y in zip(a.slots, b.slots))
+    return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
+
+
+def multiply(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
+    """Slot-wise homomorphic multiplication; consumes one level."""
+    _check_compatible(a, b)
+    t = a.params.plaintext_modulus
+    slots = tuple((x * y) % t for x, y in zip(a.slots, b.slots))
+    return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level) + 1)
+
+
+def add_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
+    t = ct.params.plaintext_modulus
+    padded = _pad(values, ct.params)
+    slots = tuple((x + y) % t for x, y in zip(ct.slots, padded))
+    return BGVCiphertext(slots, ct.key_id, ct.params, ct.level)
+
+
+def multiply_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
+    """Plaintext multiplication; cheaper noise-wise than ct-ct multiply."""
+    t = ct.params.plaintext_modulus
+    padded = _pad(values, ct.params)
+    slots = tuple((x * y) % t for x, y in zip(ct.slots, padded))
+    return BGVCiphertext(slots, ct.key_id, ct.params, ct.level + 1)
+
+
+def rotate(ct: BGVCiphertext, k: int) -> BGVCiphertext:
+    """Cyclically rotate slots left by k (a Galois automorphism in BGV)."""
+    n = ct.params.slots
+    k %= n
+    slots = ct.slots[k:] + ct.slots[:k]
+    return BGVCiphertext(slots, ct.key_id, ct.params, ct.level)
+
+
+def sum_ciphertexts(cts: Sequence[BGVCiphertext]) -> BGVCiphertext:
+    """Fold homomorphic addition over a non-empty ciphertext sequence."""
+    if not cts:
+        raise ValueError("cannot sum zero ciphertexts")
+    acc = cts[0]
+    for ct in cts[1:]:
+        acc = add(acc, ct)
+    return acc
+
+
+def total_sum_slots(ct: BGVCiphertext, width: int) -> BGVCiphertext:
+    """Sum the first ``width`` slots into slot 0 via rotate-and-add.
+
+    This is the standard log-depth SIMD reduction; it uses rotations only,
+    so it consumes no multiplicative levels.
+    """
+    acc = ct
+    shift = 1
+    while shift < width:
+        acc = add(acc, rotate(acc, shift))
+        shift *= 2
+    return acc

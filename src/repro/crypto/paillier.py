@@ -1,0 +1,134 @@
+"""Paillier additively homomorphic encryption.
+
+Arboretum uses AHE whenever an encrypted value only ever flows through
+additions (§4.5) — most importantly for the aggregator-side sum over the
+participants' encrypted one-hot inputs (Fig 5). This is a complete, real
+Paillier implementation over Python big ints: keygen, encryption,
+decryption, ciphertext addition (⊞), and plaintext-scalar multiplication.
+
+Key sizes default to 512-bit primes (1024-bit modulus), which keeps unit
+tests fast; production deployments would use 2048-bit+ moduli. Performance
+numbers never come from this module — they come from the calibrated cost
+model (``planner.costmodel``), matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import gcd
+from typing import Sequence
+
+from .field import random_prime
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: n = p*q and the generator g = n + 1."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    @property
+    def plaintext_modulus(self) -> int:
+        return self.n
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key: lambda = lcm(p-1, q-1) and mu = lambda^{-1} mod n."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """A Paillier ciphertext c in Z*_{n^2}, tagged with its key's modulus.
+
+    Tagging prevents silently combining ciphertexts under different keys —
+    an easy bug when several committees each generate keypairs.
+    """
+
+    value: int
+    n: int
+
+
+def keygen(bits: int = 512, rng: random.Random = None) -> PaillierPrivateKey:
+    """Generate a Paillier keypair with two ``bits``-bit primes."""
+    rng = rng or random.Random()
+    while True:
+        p = random_prime(bits, rng)
+        q = random_prime(bits, rng)
+        if p != q and gcd(p * q, (p - 1) * (q - 1)) == 1:
+            break
+    n = p * q
+    lam = (p - 1) * (q - 1) // gcd(p - 1, q - 1)
+    public = PaillierPublicKey(n)
+    # For g = n+1, L(g^lam mod n^2) = lam mod n, so mu = lam^{-1} mod n.
+    mu = pow(lam % n, -1, n)
+    return PaillierPrivateKey(public, lam, mu)
+
+
+def encrypt(pk: PaillierPublicKey, m: int, rng: random.Random = None) -> PaillierCiphertext:
+    """Encrypt plaintext m (taken mod n) with fresh randomness."""
+    rng = rng or random.Random()
+    m %= pk.n
+    while True:
+        r = rng.randrange(1, pk.n)
+        if gcd(r, pk.n) == 1:
+            break
+    n2 = pk.n_squared
+    # g^m = (n+1)^m = 1 + m*n (mod n^2), a standard Paillier optimization.
+    c = ((1 + m * pk.n) % n2) * pow(r, pk.n, n2) % n2
+    return PaillierCiphertext(c, pk.n)
+
+
+def decrypt(sk: PaillierPrivateKey, ct: PaillierCiphertext) -> int:
+    """Decrypt a ciphertext back to a plaintext in [0, n)."""
+    n = sk.public.n
+    if ct.n != n:
+        raise ValueError("ciphertext was produced under a different key")
+    u = pow(ct.value, sk.lam, sk.public.n_squared)
+    l_of_u = (u - 1) // n
+    return (l_of_u * sk.mu) % n
+
+
+def add_ciphertexts(a: PaillierCiphertext, b: PaillierCiphertext) -> PaillierCiphertext:
+    """Homomorphic addition: Dec(a ⊞ b) = Dec(a) + Dec(b) mod n."""
+    if a.n != b.n:
+        raise ValueError("cannot add ciphertexts under different keys")
+    n2 = a.n * a.n
+    return PaillierCiphertext((a.value * b.value) % n2, a.n)
+
+
+def add_plain(pk: PaillierPublicKey, ct: PaillierCiphertext, m: int) -> PaillierCiphertext:
+    """Homomorphically add a public plaintext constant to a ciphertext."""
+    if ct.n != pk.n:
+        raise ValueError("ciphertext was produced under a different key")
+    n2 = pk.n_squared
+    return PaillierCiphertext((ct.value * (1 + (m % pk.n) * pk.n)) % n2, ct.n)
+
+
+def mul_plain(ct: PaillierCiphertext, k: int) -> PaillierCiphertext:
+    """Homomorphically multiply by a public plaintext scalar."""
+    n2 = ct.n * ct.n
+    return PaillierCiphertext(pow(ct.value, k % ct.n, n2), ct.n)
+
+
+def sum_ciphertexts(cts: Sequence[PaillierCiphertext]) -> PaillierCiphertext:
+    """Fold ⊞ over a non-empty sequence of ciphertexts."""
+    if not cts:
+        raise ValueError("cannot sum zero ciphertexts")
+    acc = cts[0]
+    for ct in cts[1:]:
+        acc = add_ciphertexts(acc, ct)
+    return acc

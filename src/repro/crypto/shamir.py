@@ -1,0 +1,121 @@
+"""Shamir secret sharing over a prime field.
+
+This is the substrate for Arboretum's honest-majority committee MPCs (§6,
+"SPDZ-wise Shamir") and for Verifiable Secret Redistribution between
+committees (§5.2, §5.4). Shares are (x, y) points on a random polynomial of
+degree t whose constant term is the secret; any t+1 shares reconstruct, any
+t reveal nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .field import PrimeField
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation of the sharing polynomial at ``x``."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coeffs: Sequence[int], x: int, field: PrimeField) -> int:
+    """Evaluate a polynomial (coeffs[0] = constant term) at x via Horner."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = field.add(field.mul(acc, x), c)
+    return acc
+
+
+def share_secret(
+    secret: int,
+    threshold: int,
+    party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> List[Share]:
+    """Split ``secret`` into shares for ``party_ids``.
+
+    ``threshold`` is the polynomial degree t: any t+1 shares reconstruct the
+    secret, any t or fewer are information-theoretically independent of it.
+    Party ids must be distinct and nonzero (x=0 would leak the secret).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if len(set(party_ids)) != len(party_ids):
+        raise ValueError("party ids must be distinct")
+    if any(pid == 0 for pid in party_ids):
+        raise ValueError("party id 0 is reserved for the secret itself")
+    if len(party_ids) < threshold + 1:
+        raise ValueError(
+            f"{len(party_ids)} parties cannot reconstruct a degree-{threshold} sharing"
+        )
+    coeffs = [field.reduce(secret)]
+    coeffs.extend(field.random_element(rng) for _ in range(threshold))
+    return [Share(pid, _eval_poly(coeffs, pid, field)) for pid in party_ids]
+
+
+def lagrange_coefficients_at_zero(xs: Sequence[int], field: PrimeField) -> List[int]:
+    """Lagrange basis weights l_i(0) for interpolation at x=0."""
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    weights = []
+    for i, xi in enumerate(xs):
+        num, den = 1, 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num = field.mul(num, field.neg(xj))
+            den = field.mul(den, field.sub(xi, xj))
+        weights.append(field.div(num, den))
+    return weights
+
+
+def reconstruct_secret(shares: Iterable[Share], field: PrimeField) -> int:
+    """Interpolate the sharing polynomial at 0 to recover the secret.
+
+    The caller must supply at least t+1 shares of a degree-t sharing; with
+    fewer the result is an unrelated field element (Shamir gives no
+    integrity by itself — VSR adds that on top).
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("cannot reconstruct from zero shares")
+    xs = [s.x for s in shares]
+    weights = lagrange_coefficients_at_zero(xs, field)
+    acc = 0
+    for share, w in zip(shares, weights):
+        acc = field.add(acc, field.mul(w, share.y))
+    return acc
+
+
+def add_shares(a: Share, b: Share, field: PrimeField) -> Share:
+    """Shares are additively homomorphic: pointwise sum shares the sum."""
+    if a.x != b.x:
+        raise ValueError("cannot add shares held by different parties")
+    return Share(a.x, field.add(a.y, b.y))
+
+
+def scale_share(a: Share, k: int, field: PrimeField) -> Share:
+    """Multiply a shared value by a public constant."""
+    return Share(a.x, field.mul(a.y, k))
+
+
+def share_vector(
+    values: Sequence[int],
+    threshold: int,
+    party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> Dict[int, List[Share]]:
+    """Share a vector of secrets; returns per-party share lists."""
+    per_party: Dict[int, List[Share]] = {pid: [] for pid in party_ids}
+    for v in values:
+        for s in share_secret(v, threshold, party_ids, field, rng):
+            per_party[s.x].append(s)
+    return per_party

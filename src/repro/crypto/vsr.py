@@ -1,0 +1,296 @@
+"""Verifiable Secret Redistribution (VSR).
+
+Between committee vignettes, Arboretum transfers secrets (the private key,
+or intermediate MPC state) from one committee to the next by re-sharing
+(§5.2, §5.4). Plain re-sharing would let a malicious old-committee member
+corrupt the secret undetectably, so each member publishes Feldman
+commitments to its sub-share polynomial; new-committee members verify their
+sub-shares against the commitments before combining. This mirrors the
+Extended VSR protocol [35] that the paper obtained from the Mycelium
+authors.
+
+The discrete-log group here is Z_q* for a safe-ish prime q chosen per field;
+commitments are g^coeff mod q. Security rests on the hardness of discrete
+log in that group, exactly as in Feldman's scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from .field import PrimeField, next_prime
+from .shamir import Share, lagrange_coefficients_at_zero, share_secret
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Commitments g^{a_k} mod q to a sub-share polynomial's coefficients."""
+
+    group_modulus: int
+    generator: int
+    coefficient_commitments: Tuple[int, ...]
+
+    def expected_commitment(self, x: int, field: PrimeField) -> int:
+        """Compute prod_k C_k^{x^k} = g^{poly(x)} for verification."""
+        acc = 1
+        exponent = 1
+        for c in self.coefficient_commitments:
+            acc = (acc * pow(c, exponent, self.group_modulus)) % self.group_modulus
+            exponent = field.mul(exponent, x)
+        return acc
+
+
+@dataclass(frozen=True)
+class SubShare:
+    """A share of a share: old member ``source`` re-shares to new member ``x``."""
+
+    source: int
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class RedistributionMessage:
+    """Everything one old-committee member publishes during VSR."""
+
+    source: int
+    sub_shares: Tuple[SubShare, ...]
+    commitment: FeldmanCommitment
+
+
+@lru_cache(maxsize=16)
+def _group_for_modulus(p: int) -> Tuple[int, int]:
+    """Cached commitment-group search keyed by the field modulus."""
+    k = 2
+    while True:
+        q = k * p + 1
+        if next_prime(q) == q:
+            break
+        k += 1
+    h = 3
+    g = pow(h, (q - 1) // p, q)
+    while g == 1:
+        h += 1
+        g = pow(h, (q - 1) // p, q)
+    return q, g
+
+
+def _group_for_field(field: PrimeField) -> Tuple[int, int]:
+    """Pick a commitment group of order divisible by the field modulus.
+
+    We use q = smallest prime with q ≡ 1 (mod p) so that elements of order p
+    exist, then take g = h^((q-1)/p) for a fixed h. This keeps commitments
+    consistent: g^a depends only on a mod p.
+    """
+    return _group_for_modulus(field.modulus)
+
+
+class VSRError(Exception):
+    """Raised when sub-share verification fails or reconstruction is impossible."""
+
+
+def redistribute_share(
+    old_share: Share,
+    threshold: int,
+    new_party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+    group: Tuple[int, int] = None,
+) -> RedistributionMessage:
+    """Re-share one old-committee member's share to the new committee.
+
+    Returns the sub-shares destined for each new member plus the Feldman
+    commitment that lets them verify the sub-shares were dealt consistently.
+    """
+    q, g = group or _group_for_field(field)
+    coeffs = [field.reduce(old_share.y)]
+    coeffs.extend(field.random_element(rng) for _ in range(threshold))
+    commitments = tuple(pow(g, c, q) for c in coeffs)
+    sub_shares = []
+    for pid in new_party_ids:
+        acc = 0
+        for c in reversed(coeffs):
+            acc = field.add(field.mul(acc, pid), c)
+        sub_shares.append(SubShare(old_share.x, pid, acc))
+    return RedistributionMessage(
+        old_share.x, tuple(sub_shares), FeldmanCommitment(q, g, commitments)
+    )
+
+
+def verify_sub_share(sub: SubShare, commitment: FeldmanCommitment, field: PrimeField) -> bool:
+    """Check g^{sub.y} against the published polynomial commitments."""
+    lhs = pow(commitment.generator, sub.y, commitment.group_modulus)
+    return lhs == commitment.expected_commitment(sub.x, field)
+
+
+def combine_sub_shares(
+    new_party_id: int,
+    messages: Sequence[RedistributionMessage],
+    field: PrimeField,
+) -> Share:
+    """Build a new-committee member's share of the original secret.
+
+    Verifies every sub-share against its dealer's commitment (raising
+    VSRError on any mismatch), then combines them with the Lagrange weights
+    of the dealers' old x-coordinates, so the result is a point on a fresh
+    polynomial sharing the *same* secret.
+    """
+    if not messages:
+        raise VSRError("no redistribution messages to combine")
+    my_subs = []
+    for msg in messages:
+        matching = [s for s in msg.sub_shares if s.x == new_party_id]
+        if not matching:
+            raise VSRError(f"dealer {msg.source} sent no sub-share to party {new_party_id}")
+        sub = matching[0]
+        if not verify_sub_share(sub, msg.commitment, field):
+            raise VSRError(f"sub-share from dealer {msg.source} failed verification")
+        my_subs.append(sub)
+    xs = [s.source for s in my_subs]
+    weights = lagrange_coefficients_at_zero(xs, field)
+    y = 0
+    for sub, w in zip(my_subs, weights):
+        y = field.add(y, field.mul(w, sub.y))
+    return Share(new_party_id, y)
+
+
+def redistribute_secret(
+    old_shares: Sequence[Share],
+    old_threshold: int,
+    new_threshold: int,
+    new_party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> List[Share]:
+    """Full VSR round: old committee's shares -> new committee's shares.
+
+    Exactly ``old_threshold + 1`` old shares are used (the honest quorum);
+    each is verifiably re-shared at degree ``new_threshold`` for the new
+    committee.
+    """
+    if len(old_shares) < old_threshold + 1:
+        raise VSRError("not enough old shares for an honest quorum")
+    quorum = list(old_shares)[: old_threshold + 1]
+    group = _group_for_field(field)
+    messages = [
+        redistribute_share(s, new_threshold, new_party_ids, field, rng, group)
+        for s in quorum
+    ]
+    return [combine_sub_shares(pid, messages, field) for pid in new_party_ids]
+
+
+@dataclass(frozen=True)
+class ProvenancedSharing:
+    """A sharing together with Feldman commitments to its polynomial.
+
+    Extended VSR [35] does not only verify that each dealer re-shared
+    *some* value consistently — it also verifies that the value re-shared
+    is the dealer's *actual share of the original secret*. That requires
+    the original sharing to come with commitments: g^{a_k} for the
+    original polynomial's coefficients, from which anyone can compute the
+    expected commitment g^{f(i)} for dealer i's share and compare it with
+    the constant-term commitment of i's sub-share polynomial.
+    """
+
+    shares: Tuple[Share, ...]
+    commitment: FeldmanCommitment
+
+
+def share_secret_with_provenance(
+    secret: int,
+    threshold: int,
+    party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> ProvenancedSharing:
+    """Deal a sharing plus the Feldman commitments Extended VSR verifies."""
+    q, g = _group_for_field(field)
+    coeffs = [field.reduce(secret)]
+    coeffs.extend(field.random_element(rng) for _ in range(threshold))
+    commitments = tuple(pow(g, c, q) for c in coeffs)
+    shares = []
+    for pid in party_ids:
+        acc = 0
+        for c in reversed(coeffs):
+            acc = field.add(field.mul(acc, pid), c)
+        shares.append(Share(pid, acc))
+    return ProvenancedSharing(tuple(shares), FeldmanCommitment(q, g, commitments))
+
+
+def verify_share_provenance(
+    share: Share, original: FeldmanCommitment, field: PrimeField
+) -> bool:
+    """Check that ``share`` lies on the originally committed polynomial."""
+    lhs = pow(original.generator, share.y, original.group_modulus)
+    return lhs == original.expected_commitment(share.x, field)
+
+
+def redistribute_with_provenance(
+    sharing: ProvenancedSharing,
+    old_threshold: int,
+    new_threshold: int,
+    new_party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> List[Share]:
+    """Extended VSR: re-share while proving each dealer's input share.
+
+    Every dealer's redistribution message must (a) be internally
+    consistent (plain VSR) and (b) have a constant-term commitment equal
+    to the original polynomial's commitment at the dealer's point — a
+    dealer re-sharing a *different* value than its real share is caught
+    even though its sub-shares are mutually consistent.
+    """
+    shares = list(sharing.shares)
+    if len(shares) < old_threshold + 1:
+        raise VSRError("not enough old shares for an honest quorum")
+    for share in shares:
+        if not verify_share_provenance(share, sharing.commitment, field):
+            raise VSRError(
+                f"dealer {share.x}'s input share does not match the original "
+                f"commitment (Extended VSR provenance check)"
+            )
+    quorum = shares[: old_threshold + 1]
+    group = (sharing.commitment.group_modulus, sharing.commitment.generator)
+    messages = []
+    for share in quorum:
+        message = redistribute_share(
+            share, new_threshold, new_party_ids, field, rng, group
+        )
+        expected = sharing.commitment.expected_commitment(share.x, field)
+        if message.commitment.coefficient_commitments[0] != expected:
+            raise VSRError(
+                f"dealer {share.x} re-shared a value inconsistent with its "
+                f"committed share"
+            )
+        messages.append(message)
+    return [combine_sub_shares(pid, messages, field) for pid in new_party_ids]
+
+
+def redistribute_vector(
+    old_share_vectors: Dict[int, Sequence[Share]],
+    old_threshold: int,
+    new_threshold: int,
+    new_party_ids: Sequence[int],
+    field: PrimeField,
+    rng: random.Random,
+) -> Dict[int, List[Share]]:
+    """Redistribute a vector of secrets (e.g. BGV key shares) element-wise."""
+    parties = list(old_share_vectors)
+    if not parties:
+        raise VSRError("no old shares supplied")
+    length = len(next(iter(old_share_vectors.values())))
+    if any(len(v) != length for v in old_share_vectors.values()):
+        raise VSRError("old share vectors have inconsistent lengths")
+    out: Dict[int, List[Share]] = {pid: [] for pid in new_party_ids}
+    for i in range(length):
+        element_shares = [old_share_vectors[p][i] for p in parties]
+        new_shares = redistribute_secret(
+            element_shares, old_threshold, new_threshold, new_party_ids, field, rng
+        )
+        for s in new_shares:
+            out[s.x].append(s)
+    return out

@@ -1,0 +1,31 @@
+"""Evaluation harness (§7): one entry point per table and figure."""
+
+from .experiments import (
+    PAPER_CONSTRAINTS,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    plan_all_queries,
+    plan_paper_query,
+    table1,
+    table2,
+)
+from .hetero import heterogeneity_experiment
+from .power import fig11
+
+__all__ = [
+    "PAPER_CONSTRAINTS",
+    "plan_paper_query",
+    "plan_all_queries",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "heterogeneity_experiment",
+]

@@ -1,0 +1,59 @@
+"""Export evaluation artifacts as CSV files.
+
+``export_all(directory)`` regenerates every table and figure (§7) and
+writes one CSV per artifact — the machine-readable counterpart of the
+printed report, for plotting or diffing across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import asdict, fields, is_dataclass
+from typing import List, Sequence
+
+from . import experiments, hetero, power
+
+
+def _write_rows(path: str, rows: Sequence[object]) -> None:
+    if not rows:
+        raise ValueError(f"no rows to write to {path}")
+    first = rows[0]
+    if is_dataclass(first):
+        dict_rows = [asdict(r) for r in rows]
+    else:
+        dict_rows = [dict(r) for r in rows]
+    fieldnames = list(dict_rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in dict_rows:
+            writer.writerow(
+                {
+                    key: (value.hex() if isinstance(value, bytes) else value)
+                    for key, value in row.items()
+                }
+            )
+
+
+def export_all(directory: str) -> List[str]:
+    """Write every artifact; returns the file paths created."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    artifacts = {
+        "table1.csv": experiments.table1(),
+        "table2.csv": experiments.table2(),
+        "fig6_participant_costs.csv": experiments.fig6(),
+        "fig7_committee_costs.csv": experiments.fig7(),
+        "fig8_aggregator_costs.csv": experiments.fig8(),
+        "fig9_planner_runtime.csv": experiments.fig9(),
+        "fig10_scalability.csv": experiments.fig10(),
+        "fig11_power.csv": power.fig11(),
+        "hetero.csv": hetero.heterogeneity_experiment(num_parties=12, num_scores=8),
+    }
+    for filename, rows in artifacts.items():
+        path = os.path.join(directory, filename)
+        _write_rows(path, rows)
+        written.append(path)
+    return written

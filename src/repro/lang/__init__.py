@@ -1,0 +1,19 @@
+"""Arboretum's query language: AST, lexer, parser, simplifier, pretty
+printer, and the cleartext reference interpreter (§4.1)."""
+
+from .ast import Program, format_program
+from .interp import ReferenceInterpreter, one_hot_database, run_reference
+from .parser import ParseError, parse, parse_expression
+from .simplify import simplify
+
+__all__ = [
+    "Program",
+    "format_program",
+    "parse",
+    "parse_expression",
+    "ParseError",
+    "simplify",
+    "ReferenceInterpreter",
+    "run_reference",
+    "one_hot_database",
+]

@@ -1,0 +1,293 @@
+"""Abstract syntax tree for Arboretum's query language (§4.1, Fig 2).
+
+Analysts write queries as if the whole database existed on one machine:
+statements, loops, conditionals, arrays, and the standard arithmetic and
+logical operators, plus built-in high-level operators (``sum``, ``max``,
+``em``, ``laplace``, ``sampleUniform``, ...) that the planner later expands
+into concrete implementations. The participants' input data is the
+predefined two-dimensional array ``db``; outputs are produced by calling
+``output``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Name of the predefined input array: db[i][j] is participant i's j-th input.
+DB_NAME = "db"
+
+#: Built-in functions the language exposes (§4.1). ``gumbel``/``random`` are
+#: used inside operator *instantiations* (Fig 4) but are also accepted at the
+#: surface for completeness.
+BUILTIN_FUNCTIONS = frozenset(
+    {
+        "sum",
+        "max",
+        "argmax",
+        "em",
+        "laplace",
+        "gumbel",
+        "sampleUniform",
+        "clip",
+        "exp",
+        "log",
+        "abs",
+        "len",
+        "sqrt",
+        "random",
+        "output",
+        "declassify",
+    }
+)
+
+BINARY_OPERATORS = ("+", "-", "*", "/", "&&", "||", "<", "<=", ">", ">=", "==", "!=")
+UNARY_OPERATORS = ("!", "-")
+
+
+class Node:
+    """Base class for AST nodes; carries the source line for diagnostics."""
+
+    line: int = 0
+
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[index]``; db[i][j] nests two of these."""
+
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPERATORS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass
+class UnOp(Expr):
+    op: str
+    operand: Expr
+    line: int = 0
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPERATORS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Assign(Stmt):
+    var: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IndexAssign(Stmt):
+    """``var[index] = value``."""
+
+    var: str
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A bare expression statement, e.g. ``output(result)``."""
+
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    """``for var = start to end do body endfor`` (inclusive bounds)."""
+
+    var: str
+    start: Expr
+    end: Expr
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# ------------------------------------------------------------------ visitors
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth-first."""
+    yield expr
+    if isinstance(expr, Index):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_statements(statements: List[Stmt]):
+    """Yield every statement in a block, depth-first, including nested ones."""
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, For):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+
+
+def expressions_of(stmt: Stmt):
+    """Yield the top-level expressions a statement contains (not nested stmts)."""
+    if isinstance(stmt, Assign):
+        yield stmt.value
+    elif isinstance(stmt, IndexAssign):
+        yield stmt.index
+        yield stmt.value
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, For):
+        yield stmt.start
+        yield stmt.end
+    elif isinstance(stmt, If):
+        yield stmt.cond
+
+
+def calls_in(statements: List[Stmt]):
+    """Yield every Call node anywhere in a block."""
+    for stmt in walk_statements(statements):
+        for expr in expressions_of(stmt):
+            for sub in walk_expr(expr):
+                if isinstance(sub, Call):
+                    yield sub
+
+
+# ------------------------------------------------------------ pretty printer
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Index):
+        return f"{format_expr(expr.base)}[{format_expr(expr.index)}]"
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op}{format_expr(expr.operand)})"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def format_statements(statements: List[Stmt], indent: int = 0) -> str:
+    pad = "  " * indent
+    lines: List[str] = []
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            lines.append(f"{pad}{stmt.var} = {format_expr(stmt.value)};")
+        elif isinstance(stmt, IndexAssign):
+            lines.append(
+                f"{pad}{stmt.var}[{format_expr(stmt.index)}] = {format_expr(stmt.value)};"
+            )
+        elif isinstance(stmt, ExprStmt):
+            lines.append(f"{pad}{format_expr(stmt.expr)};")
+        elif isinstance(stmt, For):
+            lines.append(
+                f"{pad}for {stmt.var} = {format_expr(stmt.start)} "
+                f"to {format_expr(stmt.end)} do"
+            )
+            lines.append(format_statements(stmt.body, indent + 1))
+            lines.append(f"{pad}endfor")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if {format_expr(stmt.cond)} then")
+            lines.append(format_statements(stmt.then_body, indent + 1))
+            if stmt.else_body:
+                lines.append(f"{pad}else")
+                lines.append(format_statements(stmt.else_body, indent + 1))
+            lines.append(f"{pad}endif")
+        else:
+            raise TypeError(f"unknown statement node {type(stmt).__name__}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    return format_statements(program.statements)

@@ -1,0 +1,93 @@
+"""Tokenizer for the query language (Fig 2).
+
+Token kinds: identifiers/keywords, integer and float literals, operators,
+and punctuation. ``//`` and ``#`` start a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = frozenset({"for", "to", "do", "endfor", "if", "then", "else", "endif", "true", "false"})
+
+# Longest-match-first operator table.
+_OPERATORS = ["&&", "||", "<=", ">=", "==", "!=", "+", "-", "*", "/", "<", ">", "!", "="]
+_PUNCTUATION = {";": "SEMI", ",": "COMMA", "(": "LPAREN", ")": "RPAREN", "[": "LBRACK", "]": "RBRACK"}
+
+
+class LexError(Exception):
+    """Raised on characters the language does not recognize."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, INT, FLOAT, OP, keyword name, punctuation name, EOF
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert source text into a token list terminated by an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i and source[j - 1].isdigit():
+                    seen_exp = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = source[i:j]
+            kind = "FLOAT" if (seen_dot or seen_exp) else "INT"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = text.upper() if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line))
+            i += 1
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", line))
+    return tokens

@@ -1,0 +1,261 @@
+"""Recursive-descent parser for the query language (Fig 2).
+
+Grammar (statements are ``;``-separated; blocks are delimited by
+``do..endfor`` and ``then..else..endif``):
+
+    stmt := var = exp | var[exp] = exp | exp
+          | for var = exp to exp do stmts endfor
+          | if exp then stmts [else stmts] endif
+
+    exp   := or_exp
+    or    := and (|| and)*
+    and   := not (&& not)*
+    not   := ! not | cmp
+    cmp   := add ((< | <= | > | >= | == | !=) add)?
+    add   := mul ((+|-) mul)*
+    mul   := unary ((*|/) unary)*
+    unary := - unary | postfix
+    postfix := atom ([exp])*
+    atom  := lit | var | func(args) | (exp)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    IntLit,
+    Program,
+    Stmt,
+    UnOp,
+    Var,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid programs."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _match(self, kind: str, text: str = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            wanted = text or kind
+            raise ParseError(f"line {tok.line}: expected {wanted!r}, found {tok.text!r}")
+        return self._advance()
+
+    # ------------------------------------------------------------ statements
+
+    def parse_program(self) -> Program:
+        statements = self._parse_block(stop={"EOF"})
+        self._expect("EOF")
+        return Program(statements)
+
+    def _parse_block(self, stop) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while self._peek().kind not in stop:
+            statements.append(self._parse_statement())
+            self._match("SEMI")
+        return statements
+
+    def _parse_statement(self) -> Stmt:
+        tok = self._peek()
+        if tok.kind == "FOR":
+            return self._parse_for()
+        if tok.kind == "IF":
+            return self._parse_if()
+        if tok.kind == "IDENT":
+            nxt = self._peek(1)
+            if nxt.kind == "OP" and nxt.text == "=":
+                name = self._advance().text
+                self._advance()  # '='
+                value = self._parse_expr()
+                return Assign(name, value, line=tok.line)
+            if nxt.kind == "LBRACK":
+                # Could be var[exp] = exp (an indexed store) or an indexed
+                # read inside a bare expression; disambiguate by scanning
+                # for '=' right after the matching bracket.
+                save = self._pos
+                name = self._advance().text
+                self._advance()  # '['
+                index = self._parse_expr()
+                self._expect("RBRACK")
+                if self._check("OP", "="):
+                    self._advance()
+                    value = self._parse_expr()
+                    return IndexAssign(name, index, value, line=tok.line)
+                self._pos = save
+        expr = self._parse_expr()
+        return ExprStmt(expr, line=tok.line)
+
+    def _parse_for(self) -> For:
+        tok = self._expect("FOR")
+        var = self._expect("IDENT").text
+        self._expect("OP", "=")
+        start = self._parse_expr()
+        self._expect("TO")
+        end = self._parse_expr()
+        self._expect("DO")
+        body = self._parse_block(stop={"ENDFOR", "EOF"})
+        self._expect("ENDFOR")
+        return For(var, start, end, body, line=tok.line)
+
+    def _parse_if(self) -> If:
+        tok = self._expect("IF")
+        cond = self._parse_expr()
+        self._expect("THEN")
+        then_body = self._parse_block(stop={"ELSE", "ENDIF", "EOF"})
+        else_body: List[Stmt] = []
+        if self._match("ELSE"):
+            else_body = self._parse_block(stop={"ENDIF", "EOF"})
+        self._expect("ENDIF")
+        return If(cond, then_body, else_body, line=tok.line)
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._check("OP", "||"):
+            line = self._advance().line
+            right = self._parse_and()
+            left = BinOp("||", left, right, line=line)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._check("OP", "&&"):
+            line = self._advance().line
+            right = self._parse_not()
+            left = BinOp("&&", left, right, line=line)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._check("OP", "!"):
+            line = self._advance().line
+            return UnOp("!", self._parse_not(), line=line)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        tok = self._peek()
+        if tok.kind == "OP" and tok.text in ("<", "<=", ">", ">=", "==", "!="):
+            self._advance()
+            right = self._parse_additive()
+            return BinOp(tok.text, left, right, line=tok.line)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind == "OP" and self._peek().text in ("+", "-"):
+            tok = self._advance()
+            right = self._parse_multiplicative()
+            left = BinOp(tok.text, left, right, line=tok.line)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind == "OP" and self._peek().text in ("*", "/"):
+            tok = self._advance()
+            right = self._parse_unary()
+            left = BinOp(tok.text, left, right, line=tok.line)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._check("OP", "-"):
+            tok = self._advance()
+            return UnOp("-", self._parse_unary(), line=tok.line)
+        if self._check("OP", "!"):
+            # `!` binds loosely at the `not` level, but also appears in
+            # operand position (e.g. `-x + !y`); accept it here too.
+            tok = self._advance()
+            return UnOp("!", self._parse_unary(), line=tok.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_atom()
+        while self._match("LBRACK"):
+            index = self._parse_expr()
+            self._expect("RBRACK")
+            expr = Index(expr, index, line=self._peek().line)
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "INT":
+            self._advance()
+            return IntLit(int(tok.text), line=tok.line)
+        if tok.kind == "FLOAT":
+            self._advance()
+            return FloatLit(float(tok.text), line=tok.line)
+        if tok.kind in ("TRUE", "FALSE"):
+            self._advance()
+            return BoolLit(tok.kind == "TRUE", line=tok.line)
+        if tok.kind == "IDENT":
+            self._advance()
+            if self._match("LPAREN"):
+                args: List[Expr] = []
+                if not self._check("RPAREN"):
+                    args.append(self._parse_expr())
+                    while self._match("COMMA"):
+                        args.append(self._parse_expr())
+                self._expect("RPAREN")
+                return Call(tok.text, args, line=tok.line)
+            return Var(tok.text, line=tok.line)
+        if self._match("LPAREN"):
+            expr = self._parse_expr()
+            self._expect("RPAREN")
+            return expr
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> Program:
+    """Parse query-language source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single expression — handy for tests."""
+    parser = _Parser(tokenize(source))
+    expr = parser._parse_expr()
+    parser._expect("EOF")
+    return expr

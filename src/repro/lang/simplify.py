@@ -1,0 +1,257 @@
+"""AST simplification: constant folding and dead-branch elimination.
+
+The planner forbids vignettes consisting only of constant assignments
+(§4.4) — the cleanest way to guarantee that is to fold constants away
+before lowering. The pass is semantics-preserving (checked by property
+tests against the reference interpreter): literal arithmetic is folded,
+``if`` statements with constant conditions are replaced by the taken
+branch, double negation is removed, and arithmetic identities (x+0, x*1,
+x*0 for pure x) are applied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    IntLit,
+    Program,
+    Stmt,
+    UnOp,
+    Var,
+)
+
+Number = Union[int, float, bool]
+
+#: Calls with side effects or randomness: never folded, never dropped.
+_EFFECTFUL = {"output", "declassify", "laplace", "em", "gumbel", "random", "sampleUniform"}
+
+
+def _literal_value(expr: Expr) -> Optional[Number]:
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, FloatLit):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        return expr.value
+    return None
+
+
+def _make_literal(value: Number, line: int) -> Expr:
+    if isinstance(value, bool):
+        return BoolLit(value, line=line)
+    if isinstance(value, int):
+        return IntLit(value, line=line)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        # Keep int-valued results integral so basic types do not widen.
+        return IntLit(int(value), line=line)
+    return FloatLit(float(value), line=line)
+
+
+def _is_pure(expr: Expr) -> bool:
+    """True if evaluating the expression has no effects and no randomness."""
+    if isinstance(expr, (IntLit, FloatLit, BoolLit, Var)):
+        return True
+    if isinstance(expr, Index):
+        return _is_pure(expr.base) and _is_pure(expr.index)
+    if isinstance(expr, UnOp):
+        return _is_pure(expr.operand)
+    if isinstance(expr, BinOp):
+        return _is_pure(expr.left) and _is_pure(expr.right)
+    if isinstance(expr, Call):
+        if expr.func in _EFFECTFUL:
+            return False
+        return all(_is_pure(a) for a in expr.args)
+    return False
+
+
+_FOLDABLE_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+}
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Recursively fold an expression."""
+    if isinstance(expr, (IntLit, FloatLit, BoolLit, Var)):
+        return expr
+    if isinstance(expr, Index):
+        return Index(simplify_expr(expr.base), simplify_expr(expr.index), line=expr.line)
+    if isinstance(expr, UnOp):
+        operand = simplify_expr(expr.operand)
+        value = _literal_value(operand)
+        if expr.op == "-" and value is not None and not isinstance(value, bool):
+            return _make_literal(-value, expr.line)
+        if expr.op == "!" and value is not None:
+            return BoolLit(not value, line=expr.line)
+        if (
+            isinstance(operand, UnOp)
+            and operand.op == expr.op
+            and expr.op in ("-", "!")
+        ):
+            return operand.operand  # --x == x, !!b == b
+        return UnOp(expr.op, operand, line=expr.line)
+    if isinstance(expr, BinOp):
+        return _simplify_binop(expr)
+    if isinstance(expr, Call):
+        args = [simplify_expr(a) for a in expr.args]
+        folded = _fold_pure_call(expr.func, args, expr.line)
+        if folded is not None:
+            return folded
+        return Call(expr.func, args, line=expr.line)
+    return expr
+
+
+def _simplify_binop(expr: BinOp) -> Expr:
+    left = simplify_expr(expr.left)
+    right = simplify_expr(expr.right)
+    lv, rv = _literal_value(left), _literal_value(right)
+    op = expr.op
+    if lv is not None and rv is not None:
+        if op == "/":
+            if rv != 0:
+                return _make_literal(lv / rv, expr.line)
+        elif op in _FOLDABLE_BINOPS:
+            return _make_literal(_FOLDABLE_BINOPS[op](lv, rv), expr.line)
+    # Identities on one literal side; only drop the other side if pure.
+    if op == "+":
+        if lv == 0 and not isinstance(lv, bool):
+            return right
+        if rv == 0 and not isinstance(rv, bool):
+            return left
+    if op == "-" and rv == 0 and not isinstance(rv, bool):
+        return left
+    if op == "*":
+        if lv == 1 and not isinstance(lv, bool):
+            return right
+        if rv == 1 and not isinstance(rv, bool):
+            return left
+        if lv == 0 and not isinstance(lv, bool) and _is_pure(right):
+            return _make_literal(0, expr.line)
+        if rv == 0 and not isinstance(rv, bool) and _is_pure(left):
+            return _make_literal(0, expr.line)
+    if op == "&&":
+        if lv is True:
+            return right
+        if rv is True:
+            return left
+        if lv is False:
+            return BoolLit(False, line=expr.line)
+        if rv is False and _is_pure(left):
+            return BoolLit(False, line=expr.line)
+    if op == "||":
+        if lv is False:
+            return right
+        if rv is False:
+            return left
+        if lv is True:
+            return BoolLit(True, line=expr.line)
+        if rv is True and _is_pure(left):
+            return BoolLit(True, line=expr.line)
+    return BinOp(op, left, right, line=expr.line)
+
+
+def _fold_pure_call(func: str, args: List[Expr], line: int) -> Optional[Expr]:
+    """Fold math builtins over literal arguments."""
+    import math
+
+    values = [_literal_value(a) for a in args]
+    if any(v is None for v in values):
+        return None
+    try:
+        if func == "abs":
+            return _make_literal(abs(values[0]), line)
+        if func == "clip":
+            return _make_literal(min(max(values[0], values[1]), values[2]), line)
+        if func == "exp":
+            return _make_literal(math.exp(values[0]), line)
+        if func == "log":
+            return _make_literal(math.log(values[0]), line)
+        if func == "sqrt":
+            return _make_literal(math.sqrt(values[0]), line)
+        if func == "max":
+            return _make_literal(max(values), line)
+    except (ValueError, OverflowError):
+        return None
+    return None
+
+
+def simplify_statements(statements: List[Stmt]) -> List[Stmt]:
+    out: List[Stmt] = []
+    for stmt in statements:
+        out.extend(_simplify_statement(stmt))
+    return out
+
+
+def _simplify_statement(stmt: Stmt) -> List[Stmt]:
+    if isinstance(stmt, Assign):
+        value = simplify_expr(stmt.value)
+        # x = x is a no-op.
+        if isinstance(value, Var) and value.name == stmt.var:
+            return []
+        return [Assign(stmt.var, value, line=stmt.line)]
+    if isinstance(stmt, IndexAssign):
+        return [
+            IndexAssign(
+                stmt.var,
+                simplify_expr(stmt.index),
+                simplify_expr(stmt.value),
+                line=stmt.line,
+            )
+        ]
+    if isinstance(stmt, ExprStmt):
+        expr = simplify_expr(stmt.expr)
+        if _is_pure(expr):
+            return []  # a pure expression statement does nothing
+        return [ExprStmt(expr, line=stmt.line)]
+    if isinstance(stmt, For):
+        start = simplify_expr(stmt.start)
+        end = simplify_expr(stmt.end)
+        body = simplify_statements(stmt.body)
+        sv, ev = _literal_value(start), _literal_value(end)
+        if sv is not None and ev is not None and ev < sv:
+            return []  # loop never runs
+        if not body:
+            # An empty body may still need the loop variable's final value;
+            # keep a degenerate assignment when the bounds are known.
+            if sv is not None and ev is not None:
+                return [Assign(stmt.var, _make_literal(ev, stmt.line), line=stmt.line)]
+        return [For(stmt.var, start, end, body, line=stmt.line)]
+    if isinstance(stmt, If):
+        cond = simplify_expr(stmt.cond)
+        value = _literal_value(cond)
+        then_body = simplify_statements(stmt.then_body)
+        else_body = simplify_statements(stmt.else_body)
+        if value is True:
+            return then_body
+        if value is False:
+            return else_body
+        if not then_body and not else_body:
+            return []
+        return [If(cond, then_body, else_body, line=stmt.line)]
+    return [stmt]
+
+
+def simplify(program: Program) -> Program:
+    """Fold constants and eliminate dead code in a whole program."""
+    return Program(simplify_statements(program.statements))

@@ -1,0 +1,99 @@
+"""Beaver multiplication triples and edaBits for the committee MPCs.
+
+Honest-majority Shamir MPC (the SPDZ-wise protocol the paper uses via
+MP-SPDZ) splits work into an input-independent *offline* phase that
+produces correlated randomness — multiplication triples (a, b, ab) and
+edaBits (a shared value together with sharings of its bits) — and a fast
+*online* phase that consumes them. In a deployment, the committee generates
+this randomness among itself; in this reproduction a dealer object plays
+the offline phase and the engine meters its cost, which is exactly how the
+paper's cost model accounts for it ("the first comparison is more expensive
+than subsequent ones because it requires the generation of multiplication
+triples", §6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..crypto.field import PrimeField
+from ..crypto.shamir import Share, share_secret
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """Per-party shares of a random (a, b, c) with c = a*b."""
+
+    a: Dict[int, Share]
+    b: Dict[int, Share]
+    c: Dict[int, Share]
+
+
+@dataclass(frozen=True)
+class EdaBit:
+    """Shares of a random m-bit value r together with shares of its bits.
+
+    Used for comparisons: a secret is masked by r, opened, and the public
+    masked value is compared against r's shared bits.
+    """
+
+    value: Dict[int, Share]
+    bits: List[Dict[int, Share]]  # bits[0] = least significant
+
+    @property
+    def bit_length(self) -> int:
+        return len(self.bits)
+
+
+class OfflineDealer:
+    """Produces the correlated randomness the online phase consumes.
+
+    Counters on this object let the engine report how much offline work a
+    computation required, which feeds the planner's cost model.
+    """
+
+    def __init__(self, field: PrimeField, party_ids: Sequence[int], threshold: int, rng: random.Random):
+        if len(party_ids) < 2 * threshold + 1:
+            raise ValueError(
+                "honest-majority multiplication needs n >= 2t+1 parties"
+            )
+        self.field = field
+        self.party_ids = list(party_ids)
+        self.threshold = threshold
+        self._rng = rng
+        self.triples_dealt = 0
+        self.edabits_dealt = 0
+        self.random_shares_dealt = 0
+
+    def _share(self, value: int) -> Dict[int, Share]:
+        shares = share_secret(value, self.threshold, self.party_ids, self.field, self._rng)
+        return {s.x: s for s in shares}
+
+    def triple(self) -> BeaverTriple:
+        a = self.field.random_element(self._rng)
+        b = self.field.random_element(self._rng)
+        c = self.field.mul(a, b)
+        self.triples_dealt += 1
+        return BeaverTriple(self._share(a), self._share(b), self._share(c))
+
+    def edabit(self, bit_length: int) -> EdaBit:
+        bits = [self._rng.randrange(2) for _ in range(bit_length)]
+        value = sum(bit << i for i, bit in enumerate(bits))
+        self.edabits_dealt += 1
+        return EdaBit(self._share(value), [self._share(b) for b in bits])
+
+    def random_share(self) -> Dict[int, Share]:
+        self.random_shares_dealt += 1
+        return self._share(self.field.random_element(self._rng))
+
+    def noise_share(self, sample: int) -> Dict[int, Share]:
+        """Share an externally drawn (signed) noise sample.
+
+        Stands in for the committee's joint noise-generation sub-protocol;
+        the sample never exists in the clear at any single party. The cost
+        model charges for the real protocol.
+        """
+        self.random_shares_dealt += 1
+        return self._share(self.field.encode_signed(sample))

@@ -1,0 +1,382 @@
+"""Honest-majority Shamir MPC engine for committee vignettes.
+
+This is the stand-in for MP-SPDZ's SPDZ-wise Shamir protocol (§6): a
+committee of n parties with threshold t < n/2 computes over secret-shared
+values. Additions are local; multiplications consume a Beaver triple and one
+opening round; comparisons use the masked-opening + bitwise circuit protocol
+over edaBits (the MP-SPDZ approach). Every operation is metered — openings,
+rounds, triples, bytes — and those counters feed the planner's cost model,
+mirroring how the paper benchmarks building blocks and extrapolates.
+
+The engine simulates all parties in one process but enforces the sharing
+discipline through its API: a :class:`SecretValue` can only be read via
+``open``/``declassify``, reconstruction is degree-checked so a corrupted
+share is detected (the honest-majority analogue of SPDZ MAC checks), and
+tests exercise malicious members through :meth:`MPCEngine.corrupt_share`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.field import PrimeField, DEFAULT_FIELD
+from ..crypto.shamir import (
+    Share,
+    lagrange_coefficients_at_zero,
+    reconstruct_secret,
+    share_secret,
+)
+from .beaver import EdaBit, OfflineDealer
+
+#: Statistical security (bits of masking slack) for masked openings, as in
+#: the paper's MP-SPDZ configuration (§6: "40 bits of statistical security").
+STATISTICAL_SECURITY_BITS = 40
+
+#: Default width of compared values: 30 integer + 16 fraction bits (§6),
+#: plus a sign bit.
+DEFAULT_BIT_WIDTH = 47
+
+
+class CheatingDetected(Exception):
+    """Raised when an opened sharing is inconsistent (a party cheated)."""
+
+
+@dataclass
+class SecretValue:
+    """Handle to a secret-shared field element living inside one engine."""
+
+    shares: Dict[int, Share]
+    engine_id: int
+
+    def __post_init__(self):
+        if not self.shares:
+            raise ValueError("a secret value needs at least one share")
+
+
+@dataclass
+class CostCounters:
+    """Online-phase work performed by an engine, for the cost model."""
+
+    openings: int = 0
+    rounds: int = 0
+    multiplications: int = 0
+    comparisons: int = 0
+    bytes_sent: int = 0
+    inputs: int = 0
+    triples_consumed: int = 0
+    edabits_consumed: int = 0
+
+    def snapshot(self) -> "CostCounters":
+        return CostCounters(**vars(self))
+
+
+class MPCEngine:
+    """One committee's MPC instance.
+
+    Parameters
+    ----------
+    num_parties:
+        Committee size n. Threshold defaults to the largest t with
+        n >= 2t+1 (honest majority).
+    field:
+        The prime field; defaults to the 127-bit Mersenne field, which
+        leaves 40 bits of masking slack above the 47-bit value width.
+    """
+
+    _next_engine_id = 0
+
+    def __init__(
+        self,
+        num_parties: int,
+        field: PrimeField = DEFAULT_FIELD,
+        threshold: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        bit_width: int = DEFAULT_BIT_WIDTH,
+    ):
+        if num_parties < 3:
+            raise ValueError("honest-majority MPC needs at least 3 parties")
+        self.field = field
+        self.party_ids = list(range(1, num_parties + 1))
+        self.threshold = threshold if threshold is not None else (num_parties - 1) // 2
+        if num_parties < 2 * self.threshold + 1:
+            raise ValueError("threshold violates the honest-majority bound n >= 2t+1")
+        self.rng = rng or random.Random()
+        self.bit_width = bit_width
+        mask_bits = bit_width + 1 + STATISTICAL_SECURITY_BITS
+        if field.bits < mask_bits + 2:
+            raise ValueError(
+                f"field of {field.bits} bits too small for {bit_width}-bit values "
+                f"with {STATISTICAL_SECURITY_BITS}-bit statistical masking"
+            )
+        self.dealer = OfflineDealer(field, self.party_ids, self.threshold, self.rng)
+        self.counters = CostCounters()
+        self._id = MPCEngine._next_engine_id
+        MPCEngine._next_engine_id += 1
+
+    # ------------------------------------------------------------------ io
+
+    @property
+    def num_parties(self) -> int:
+        return len(self.party_ids)
+
+    def _wrap(self, shares: Dict[int, Share]) -> SecretValue:
+        return SecretValue(shares, self._id)
+
+    def _check_ownership(self, *values: SecretValue) -> None:
+        for v in values:
+            if v.engine_id != self._id:
+                raise ValueError("secret value belongs to a different committee")
+
+    def input_value(self, value: int) -> SecretValue:
+        """A party inputs a (signed) value by secret-sharing it."""
+        encoded = self.field.encode_signed(value)
+        shares = share_secret(encoded, self.threshold, self.party_ids, self.field, self.rng)
+        self.counters.inputs += 1
+        self.counters.bytes_sent += self._share_bytes() * (self.num_parties - 1)
+        return self._wrap({s.x: s for s in shares})
+
+    def input_shares(self, shares: Dict[int, Share]) -> SecretValue:
+        """Adopt shares produced elsewhere (e.g. received via VSR)."""
+        if set(shares) != set(self.party_ids):
+            raise ValueError("shares do not match this committee's parties")
+        return self._wrap(dict(shares))
+
+    def export_shares(self, value: SecretValue) -> Dict[int, Share]:
+        """Hand shares out for redistribution to another committee."""
+        self._check_ownership(value)
+        return dict(value.shares)
+
+    def constant(self, value: int) -> SecretValue:
+        """Share a public constant (degree-0 'sharing': every share equals it)."""
+        encoded = self.field.encode_signed(value)
+        return self._wrap({pid: Share(pid, encoded) for pid in self.party_ids})
+
+    # --------------------------------------------------------------- linear
+
+    def add(self, a: SecretValue, b: SecretValue) -> SecretValue:
+        self._check_ownership(a, b)
+        return self._wrap(
+            {
+                pid: Share(pid, self.field.add(a.shares[pid].y, b.shares[pid].y))
+                for pid in self.party_ids
+            }
+        )
+
+    def sub(self, a: SecretValue, b: SecretValue) -> SecretValue:
+        self._check_ownership(a, b)
+        return self._wrap(
+            {
+                pid: Share(pid, self.field.sub(a.shares[pid].y, b.shares[pid].y))
+                for pid in self.party_ids
+            }
+        )
+
+    def add_public(self, a: SecretValue, k: int) -> SecretValue:
+        self._check_ownership(a)
+        encoded = self.field.encode_signed(k)
+        return self._wrap(
+            {
+                pid: Share(pid, self.field.add(a.shares[pid].y, encoded))
+                for pid in self.party_ids
+            }
+        )
+
+    def mul_public(self, a: SecretValue, k: int) -> SecretValue:
+        self._check_ownership(a)
+        encoded = self.field.encode_signed(k)
+        return self._wrap(
+            {
+                pid: Share(pid, self.field.mul(a.shares[pid].y, encoded))
+                for pid in self.party_ids
+            }
+        )
+
+    def sum_values(self, values: Sequence[SecretValue]) -> SecretValue:
+        if not values:
+            return self.constant(0)
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.add(acc, v)
+        return acc
+
+    # ------------------------------------------------------------- opening
+
+    def _share_bytes(self) -> int:
+        return (self.field.bits + 7) // 8
+
+    def _open_raw(self, shares: Dict[int, Share]) -> int:
+        """King-model opening with degree-t consistency checking.
+
+        Every party sends its share to a king, who interpolates from t+1
+        shares and verifies the remaining n-t-1 against the polynomial; any
+        mismatch means some party lied, and the protocol aborts. This is the
+        honest-majority error-detection analogue of SPDZ MAC checks.
+        """
+        ordered = [shares[pid] for pid in self.party_ids]
+        quorum = ordered[: self.threshold + 1]
+        secret = reconstruct_secret(quorum, self.field)
+        xs = [s.x for s in quorum]
+        # Evaluate the degree-t polynomial implied by the quorum at every
+        # remaining x and compare.
+        for other in ordered[self.threshold + 1 :]:
+            predicted = self._interpolate_at(quorum, other.x)
+            if predicted != other.y:
+                raise CheatingDetected(
+                    f"party {other.x} submitted an inconsistent share"
+                )
+        self.counters.openings += 1
+        self.counters.rounds += 1
+        # n-1 sends to the king plus n-1 broadcasts of the result.
+        self.counters.bytes_sent += 2 * (self.num_parties - 1) * self._share_bytes()
+        return secret
+
+    def _interpolate_at(self, shares: Sequence[Share], x: int) -> int:
+        acc = 0
+        for i, si in enumerate(shares):
+            num, den = 1, 1
+            for j, sj in enumerate(shares):
+                if i == j:
+                    continue
+                num = self.field.mul(num, self.field.sub(x, sj.x))
+                den = self.field.mul(den, self.field.sub(si.x, sj.x))
+            acc = self.field.add(acc, self.field.mul(si.y, self.field.div(num, den)))
+        return acc
+
+    def open(self, value: SecretValue) -> int:
+        """Open a secret to all parties, returning the signed integer."""
+        self._check_ownership(value)
+        return self.field.decode_signed(self._open_raw(value.shares))
+
+    def open_unsigned(self, value: SecretValue) -> int:
+        self._check_ownership(value)
+        return self._open_raw(value.shares)
+
+    # -------------------------------------------------------------- multiply
+
+    def mul(self, a: SecretValue, b: SecretValue) -> SecretValue:
+        """Beaver multiplication: one triple, one round of two openings."""
+        self._check_ownership(a, b)
+        triple = self.dealer.triple()
+        self.counters.triples_consumed += 1
+        d_shares = {
+            pid: Share(pid, self.field.sub(a.shares[pid].y, triple.a[pid].y))
+            for pid in self.party_ids
+        }
+        e_shares = {
+            pid: Share(pid, self.field.sub(b.shares[pid].y, triple.b[pid].y))
+            for pid in self.party_ids
+        }
+        d = self._open_raw(d_shares)
+        e = self._open_raw(e_shares)
+        self.counters.rounds -= 1  # the two openings of one Beaver step batch
+        de = self.field.mul(d, e)
+        out = {}
+        for pid in self.party_ids:
+            y = triple.c[pid].y
+            y = self.field.add(y, self.field.mul(d, triple.b[pid].y))
+            y = self.field.add(y, self.field.mul(e, triple.a[pid].y))
+            y = self.field.add(y, de)
+            out[pid] = Share(pid, y)
+        self.counters.multiplications += 1
+        return self._wrap(out)
+
+    # ------------------------------------------------------------ comparison
+
+    def less_than(self, a: SecretValue, b: SecretValue) -> SecretValue:
+        """Shared bit [a < b] for signed values of at most ``bit_width`` bits.
+
+        Protocol (MP-SPDZ edaBit style): shift d = a - b + 2^k into the
+        non-negative range, mask with a random (k+1+40)-bit edaBit r, open
+        e = d + r, then evaluate the public-vs-shared bitwise comparison
+        [r > e - 2^k] on r's shared bits.
+        """
+        self._check_ownership(a, b)
+        k = self.bit_width
+        m = k + 1 + STATISTICAL_SECURITY_BITS
+        eda = self.dealer.edabit(m)
+        self.counters.edabits_consumed += 1
+        d = self.add_public(self.sub(a, b), 1 << k)
+        masked = self.add(d, self.input_shares(eda.value))
+        e = self._open_raw(masked.shares)
+        threshold_value = e - (1 << k)
+        result = self._bitwise_public_less_than(threshold_value, eda)
+        self.counters.comparisons += 1
+        return result
+
+    def _bitwise_public_less_than(self, public_value: int, eda: EdaBit) -> SecretValue:
+        """Shared bit [public_value < r] for bit-shared r of eda.bit_length bits."""
+        m = eda.bit_length
+        if public_value < 0:
+            return self.constant(1)
+        if public_value >= (1 << m):
+            return self.constant(0)
+        bits_public = [(public_value >> i) & 1 for i in range(m)]
+        shared_bits = [self.input_shares(eda.bits[i]) for i in range(m)]
+        # From MSB down: result accumulates (prefix of equal bits) * (E_i=0, r_i=1).
+        result = self.constant(0)
+        prefix_eq = self.constant(1)
+        for i in reversed(range(m)):
+            r_i = shared_bits[i]
+            if bits_public[i] == 1:
+                eq_i = r_i
+                lt_i = self.constant(0)
+            else:
+                eq_i = self.sub(self.constant(1), r_i)
+                lt_i = r_i
+            contribution = self.mul(prefix_eq, lt_i) if bits_public[i] == 0 else self.constant(0)
+            result = self.add(result, contribution)
+            prefix_eq = self.mul(prefix_eq, eq_i)
+        return result
+
+    def greater_than(self, a: SecretValue, b: SecretValue) -> SecretValue:
+        return self.less_than(b, a)
+
+    # ------------------------------------------------------------- selection
+
+    def select(self, bit: SecretValue, if_true: SecretValue, if_false: SecretValue) -> SecretValue:
+        """Oblivious choice: bit*(if_true - if_false) + if_false."""
+        self._check_ownership(bit, if_true, if_false)
+        diff = self.sub(if_true, if_false)
+        return self.add(self.mul(bit, diff), if_false)
+
+    def argmax(self, values: Sequence[SecretValue]) -> SecretValue:
+        """Shared index of the maximum value (first maximum wins ties)."""
+        if not values:
+            raise ValueError("argmax of an empty sequence")
+        best_value = values[0]
+        best_index = self.constant(0)
+        for i, v in enumerate(values[1:], start=1):
+            is_greater = self.greater_than(v, best_value)
+            best_value = self.select(is_greater, v, best_value)
+            best_index = self.select(is_greater, self.constant(i), best_index)
+        return best_index
+
+    def maximum(self, values: Sequence[SecretValue]) -> SecretValue:
+        if not values:
+            raise ValueError("max of an empty sequence")
+        best = values[0]
+        for v in values[1:]:
+            is_greater = self.greater_than(v, best)
+            best = self.select(is_greater, v, best)
+        return best
+
+    # ----------------------------------------------------------------- noise
+
+    def noise(self, sample: int) -> SecretValue:
+        """Adopt a jointly generated noise sample as a shared value.
+
+        The sample is produced by the committee's noise sub-protocol (see
+        ``mpc.protocols`` for the real distributed-Laplace construction);
+        the dealer shares it so no single party ever sees it.
+        """
+        return self._wrap(self.dealer.noise_share(sample))
+
+    # --------------------------------------------------------------- testing
+
+    def corrupt_share(self, value: SecretValue, party_id: int, delta: int = 1) -> None:
+        """Test hook: a malicious party perturbs its share of ``value``."""
+        self._check_ownership(value)
+        old = value.shares[party_id]
+        value.shares[party_id] = Share(party_id, self.field.add(old.y, delta))

@@ -1,0 +1,49 @@
+"""Arboretum's query planner (§4): operator expansion, vignette assignment,
+encryption-type inference, committee sizing, cost model, and the
+branch-and-bound search."""
+
+from .committees import CommitteeParameters, minimum_committee_size
+from .costmodel import (
+    Constraints,
+    CostModel,
+    CostVector,
+    DeviceProfile,
+    Goal,
+    PARTICIPANT_DEVICE,
+    REFERENCE_SERVER,
+)
+from .ir import LogicalPlan, LoweringError, lower
+from .plan import Location, Plan, Vignette, score_vignettes
+from .search import (
+    Planner,
+    PlannerOutOfMemory,
+    PlannerStatistics,
+    PlanningFailed,
+    PlanningResult,
+    plan_query,
+)
+
+__all__ = [
+    "CommitteeParameters",
+    "minimum_committee_size",
+    "Constraints",
+    "CostModel",
+    "CostVector",
+    "Goal",
+    "DeviceProfile",
+    "PARTICIPANT_DEVICE",
+    "REFERENCE_SERVER",
+    "LogicalPlan",
+    "LoweringError",
+    "lower",
+    "Location",
+    "Plan",
+    "Vignette",
+    "score_vignettes",
+    "Planner",
+    "PlanningResult",
+    "PlanningFailed",
+    "PlannerOutOfMemory",
+    "PlannerStatistics",
+    "plan_query",
+]

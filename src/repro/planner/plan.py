@@ -1,0 +1,302 @@
+"""Plan representation and scoring (§4.4, §4.6).
+
+A concrete plan is a sequence of *vignettes*: short computation stages,
+each assigned to the aggregator, to (parallel) committees of participant
+devices, or to the participant devices themselves, each with a
+cryptographic mode (clear / AHE / FHE / MPC). Scoring turns a vignette
+sequence into the six-metric CostVector via the cost model, recomputing
+the minimum committee size for the plan's committee count first (§5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .committees import CommitteeParameters
+from .costmodel import (
+    CostModel,
+    CostVector,
+    DeviceProfile,
+    REFERENCE_SERVER,
+    SchemeParams,
+    Work,
+)
+
+
+class Location(str, enum.Enum):
+    AGGREGATOR = "aggregator"
+    COMMITTEE = "committee"
+    PARTICIPANT = "participant"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit, scale in (("PB", 1e15), ("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if n >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+@dataclass
+class Vignette:
+    """One stage of a concrete plan.
+
+    ``instances`` is the number of parallel executions (committees for
+    committee vignettes, devices for participant vignettes; 1 for the
+    aggregator). ``work`` is per instance — and, for committee vignettes,
+    per *member*. Vignettes sharing a ``committee_group`` run on the same
+    committees, so one member pays for all of them; vignettes in different
+    groups run on disjoint committees.
+    """
+
+    name: str
+    location: Location
+    crypto: str  # "clear" | "ahe" | "fhe" | "mpc"
+    work: Work
+    instances: float = 1.0
+    committee_group: Optional[str] = None
+    committee_type: Optional[str] = None  # "keygen" | "decryption" | "operations"
+
+    def __post_init__(self):
+        if self.location is Location.COMMITTEE and not self.committee_group:
+            raise ValueError(f"committee vignette {self.name!r} needs a group")
+
+
+@dataclass
+class CommitteeTypeCost:
+    """Per-member cost of serving on one committee of a given type (Fig 7)."""
+
+    committee_type: str
+    seconds: float
+    bytes_sent: float
+    committees: float
+
+
+@dataclass
+class PlanScore:
+    """Everything scoring produces for one candidate."""
+
+    cost: CostVector
+    committee_params: CommitteeParameters
+    committee_breakdown: List[CommitteeTypeCost]
+    aggregator_breakdown: Dict[str, Tuple[float, float]]  # name -> (sec, bytes)
+    participant_base_seconds: float
+    participant_base_bytes: float
+
+
+@dataclass
+class Plan:
+    """A fully instantiated, scored candidate."""
+
+    query_name: str
+    choices: Dict[str, str]
+    vignettes: List[Vignette]
+    scheme: SchemeParams
+    score: PlanScore
+    #: The structured choice objects (one per logical op); the runtime
+    #: executor reads batch sizes and fanouts from these.
+    choice_list: List[object] = field(default_factory=list)
+
+    @property
+    def cost(self) -> CostVector:
+        return self.score.cost
+
+    @property
+    def committee_params(self) -> CommitteeParameters:
+        return self.score.committee_params
+
+    def explain(self, model: CostModel, num_participants: int) -> str:
+        """A per-vignette cost table: where every second and byte goes.
+
+        The analyst-facing counterpart of :meth:`describe`: for each
+        vignette, who runs it, how many instances, what one instance costs
+        in compute and traffic, and (for committee vignettes) what that
+        means for a selected member.
+        """
+        m = self.committee_params.committee_size
+        lines = [
+            f"{'vignette':16s} {'where':12s} {'crypto':6s} {'instances':>10s} "
+            f"{'compute/inst':>13s} {'traffic/inst':>13s}"
+        ]
+        for v in self.vignettes:
+            size = m if v.location is Location.COMMITTEE else 1
+            seconds = model.compute_seconds(v.work, size)
+            sent = model.traffic_bytes(v.work, size)
+            received = model.received_bytes(v.work, size)
+            traffic = sent + received
+            lines.append(
+                f"{v.name:16s} {v.location.value:12s} {v.crypto:6s} "
+                f"{v.instances:>10g} {_fmt_seconds(seconds):>13s} "
+                f"{_fmt_bytes(traffic):>13s}"
+            )
+        cost = self.cost
+        lines.append("")
+        lines.append(
+            f"totals: aggregator {cost.aggregator_core_seconds / 3600:,.1f} core-h / "
+            f"{_fmt_bytes(cost.aggregator_bytes)}; participant expected "
+            f"{_fmt_seconds(cost.participant_expected_seconds)} / "
+            f"{_fmt_bytes(cost.participant_expected_bytes)}, max "
+            f"{_fmt_seconds(cost.participant_max_seconds)} / "
+            f"{_fmt_bytes(cost.participant_max_bytes)}"
+        )
+        fraction = self.committee_params.selection_fraction(num_participants)
+        lines.append(
+            f"committees: {self.committee_params.num_committees:,} x {m} members "
+            f"({fraction * 100:.4f}% of devices serve)"
+        )
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        lines = [f"plan for {self.query_name!r} ({self.scheme.name}, ring 2^{self.scheme.ring_log2})"]
+        for key, value in sorted(self.choices.items()):
+            lines.append(f"  choice {key} = {value}")
+        params = self.committee_params
+        lines.append(
+            f"  committees: {params.num_committees} of size {params.committee_size}"
+        )
+        for v in self.vignettes:
+            inst = f"x{v.instances:g}" if v.instances != 1 else ""
+            lines.append(f"  vignette {v.name} @ {v.location.value}{inst} [{v.crypto}]")
+        return "\n".join(lines)
+
+
+def count_committees(vignettes: List[Vignette]) -> float:
+    """Distinct committees a plan uses: one per (group, instances) block."""
+    groups: Dict[str, float] = {}
+    for v in vignettes:
+        if v.location is Location.COMMITTEE:
+            groups[v.committee_group] = max(
+                groups.get(v.committee_group, 0.0), v.instances
+            )
+    return sum(groups.values())
+
+
+def score_vignettes(
+    vignettes: List[Vignette],
+    num_participants: int,
+    model: CostModel,
+    # Costs are reported at reference-server speed, matching the paper's
+    # methodology (Figs 6-7 are cluster measurements; §7.5 estimates the
+    # device slowdown separately).
+    device: DeviceProfile = REFERENCE_SERVER,
+    committee_params: Optional[CommitteeParameters] = None,
+) -> PlanScore:
+    """Score a full vignette sequence into the six metrics.
+
+    Committee sizing (§5.1) runs first, because member costs and selection
+    probabilities depend on m. Expected participant cost sums the
+    always-on participant work plus each committee vignette's member cost
+    weighted by the probability of serving on it; maximum participant cost
+    takes the most expensive committee group.
+    """
+    total_committees = count_committees(vignettes)
+    if committee_params is None:
+        committee_params = CommitteeParameters.for_plan(max(int(total_committees), 1))
+    m = committee_params.committee_size
+
+    aggregator_seconds = 0.0
+    aggregator_bytes = 0.0
+    aggregator_breakdown: Dict[str, Tuple[float, float]] = {}
+    expected_seconds = 0.0
+    expected_bytes = 0.0
+    base_seconds = 0.0
+    base_bytes = 0.0
+
+    # Per committee group: accumulated member cost (one member serves on one
+    # committee of the group, and pays for every vignette in the group).
+    group_seconds: Dict[str, float] = {}
+    group_bytes: Dict[str, float] = {}
+    group_type: Dict[str, str] = {}
+    group_instances: Dict[str, float] = {}
+
+    for v in vignettes:
+        if v.location is Location.AGGREGATOR:
+            seconds = model.compute_seconds(v.work) * v.instances
+            bytes_sent = model.traffic_bytes(v.work) * v.instances
+            aggregator_seconds += seconds
+            aggregator_bytes += bytes_sent
+            prev = aggregator_breakdown.get(v.name, (0.0, 0.0))
+            aggregator_breakdown[v.name] = (prev[0] + seconds, prev[1] + bytes_sent)
+        elif v.location is Location.PARTICIPANT:
+            seconds = model.device_seconds(v.work, device)
+            # Participant bandwidth counts both directions (Table 1 reports
+            # "participant bandwidth"; the worst-case GB comes from tree
+            # helpers *receiving* fanout-many ciphertexts).
+            bytes_sent = model.traffic_bytes(v.work) + model.received_bytes(v.work)
+            if v.instances >= num_participants:
+                # Every device runs this (e.g. input encryption).
+                base_seconds += seconds
+                base_bytes += bytes_sent
+            else:
+                probability = v.instances / num_participants
+                expected_seconds += probability * seconds
+                expected_bytes += probability * bytes_sent
+                group = f"participant:{v.name}"
+                group_seconds[group] = group_seconds.get(group, 0.0) + seconds
+                group_bytes[group] = group_bytes.get(group, 0.0) + bytes_sent
+                group_type[group] = "helper"
+                group_instances[group] = max(
+                    group_instances.get(group, 0.0), v.instances
+                )
+        else:  # COMMITTEE
+            seconds = model.device_seconds(v.work, device, m)
+            bytes_sent = model.traffic_bytes(v.work, m) + model.received_bytes(v.work, m)
+            probability = min(1.0, v.instances * m / num_participants)
+            expected_seconds += probability * seconds
+            expected_bytes += probability * bytes_sent
+            group = v.committee_group
+            group_seconds[group] = group_seconds.get(group, 0.0) + seconds
+            group_bytes[group] = group_bytes.get(group, 0.0) + bytes_sent
+            group_type.setdefault(group, v.committee_type or "operations")
+            group_instances[group] = max(group_instances.get(group, 0.0), v.instances)
+            # The aggregator relays committee payloads (mailbox, §5.4).
+            forwarded = (
+                model.received_bytes(v.work, m) + v.work.payload_bytes_sent
+            ) * m * v.instances
+            aggregator_bytes += forwarded
+            prev = aggregator_breakdown.get("forwarding", (0.0, 0.0))
+            aggregator_breakdown["forwarding"] = (prev[0], prev[1] + forwarded)
+
+    max_group_seconds = max(group_seconds.values(), default=0.0)
+    max_group_bytes = max(group_bytes.values(), default=0.0)
+
+    breakdown_by_type: Dict[str, CommitteeTypeCost] = {}
+    for group, seconds in group_seconds.items():
+        ctype = group_type[group]
+        entry = breakdown_by_type.get(ctype)
+        if entry is None or seconds > entry.seconds:
+            breakdown_by_type[ctype] = CommitteeTypeCost(
+                ctype, seconds, group_bytes[group], group_instances[group]
+            )
+        if entry is not None:
+            entry.committees += 0  # keep max-cost representative per type
+
+    cost = CostVector(
+        aggregator_core_seconds=aggregator_seconds,
+        aggregator_bytes=aggregator_bytes,
+        participant_expected_seconds=base_seconds + expected_seconds,
+        participant_expected_bytes=base_bytes + expected_bytes,
+        participant_max_seconds=base_seconds + max_group_seconds,
+        participant_max_bytes=base_bytes + max_group_bytes,
+    )
+    return PlanScore(
+        cost=cost,
+        committee_params=committee_params,
+        committee_breakdown=sorted(
+            breakdown_by_type.values(), key=lambda c: c.committee_type
+        ),
+        aggregator_breakdown=aggregator_breakdown,
+        participant_base_seconds=base_seconds,
+        participant_base_bytes=base_bytes,
+    )

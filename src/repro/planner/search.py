@@ -1,0 +1,242 @@
+"""The query planner: search over candidate plans (§4.4, §4.6, §7.3).
+
+The planner explores the choice tree produced by ``expand.choice_space``
+depth-first, scoring partial assignments as it goes. Two heuristics keep
+the search tractable (§4.4):
+
+* **branch-and-bound** — a prefix is scored by instantiating only the ops
+  chosen so far; since costs only grow as ops are added, a prefix that
+  already violates a constraint or exceeds the best-known goal value can
+  be discarded with its whole subtree;
+* **constraint pruning** — partial solutions are discarded as soon as they
+  exceed one of the analyst's limits.
+
+Setting ``heuristics=False`` reproduces the §7.3 ablation: the planner
+enumerates every full candidate, keeps them all in memory like a naive
+implementation, and aborts with :class:`PlannerOutOfMemory` once the
+candidate list exceeds the memory budget (the paper's planner ran out of
+memory for half the queries with heuristics disabled).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.types import QueryEnvironment
+from ..lang.ast import Program
+from ..lang.parser import parse
+from ..lang.simplify import simplify
+from ..privacy.certify import Certificate, certify
+from .costmodel import Constraints, CostModel, Goal
+from .expand import Choice, ExpansionError, choice_space, instantiate, space_size
+from .ir import LogicalPlan, lower
+from .plan import Plan, PlanScore, score_vignettes
+
+
+class PlanningFailed(Exception):
+    """Raised when no candidate satisfies the analyst's constraints."""
+
+
+class PlannerOutOfMemory(Exception):
+    """Raised by the no-heuristics ablation when the candidate list blows up."""
+
+
+@dataclass
+class PlannerStatistics:
+    """Search effort counters (Fig 9 reports runtime; §7.3 reports prefixes)."""
+
+    space_size: int = 0
+    prefixes_considered: int = 0
+    candidates_scored: int = 0
+    candidates_feasible: int = 0
+    pruned_by_constraint: int = 0
+    pruned_by_bound: int = 0
+    runtime_seconds: float = 0.0
+
+
+@dataclass
+class PlanningResult:
+    """The chosen plan plus search statistics."""
+
+    plan: Optional[Plan]
+    statistics: PlannerStatistics
+    certificate: Certificate
+    logical_plan: LogicalPlan
+
+    @property
+    def succeeded(self) -> bool:
+        return self.plan is not None
+
+
+class Planner:
+    """Arboretum's query planner.
+
+    Parameters mirror §4.2: the analyst supplies an optimization ``goal``
+    and optional ``constraints`` (limits on any of the six metrics); the
+    planner returns the best plan that satisfies the limits, or raises
+    :class:`PlanningFailed`.
+    """
+
+    def __init__(
+        self,
+        env: QueryEnvironment,
+        model: Optional[CostModel] = None,
+        constraints: Optional[Constraints] = None,
+        goal: Optional[Goal] = None,
+        heuristics: bool = True,
+        memory_budget_candidates: int = 250_000,
+    ):
+        self.env = env
+        self.model = model or CostModel()
+        self.constraints = constraints or Constraints()
+        self.goal = goal or Goal()
+        self.heuristics = heuristics
+        self.memory_budget_candidates = memory_budget_candidates
+
+    # ----------------------------------------------------------- front door
+
+    def plan_source(
+        self,
+        source: str,
+        name: str = "query",
+        certificate: Optional[Certificate] = None,
+    ) -> PlanningResult:
+        """Parse, certify, lower, and plan query-language source text."""
+        return self.plan_program(parse(source), name, certificate)
+
+    def plan_program(
+        self,
+        program: Program,
+        name: str = "query",
+        certificate: Optional[Certificate] = None,
+        fold_constants: bool = True,
+    ) -> PlanningResult:
+        """Plan a parsed program.
+
+        ``certificate`` defaults to automatic certification; pass a
+        :func:`repro.privacy.certify.manual_certificate` to plan programs
+        whose privacy proof the analyst supplies themselves (§4.2).
+        Constant folding runs first by default, which also guarantees the
+        §4.4 rule that no vignette consists only of constant assignments.
+        """
+        if fold_constants:
+            program = simplify(program)
+        if certificate is None:
+            certificate = certify(program, self.env)
+        logical = lower(program, self.env, certificate, name)
+        return self.plan_logical(logical, certificate)
+
+    # --------------------------------------------------------------- search
+
+    def plan_logical(
+        self, logical: LogicalPlan, certificate: Certificate
+    ) -> PlanningResult:
+        started = time.perf_counter()
+        stats = PlannerStatistics(space_size=space_size(logical))
+        space = choice_space(logical)
+        best: Optional[Plan] = None
+        best_score = float("inf")
+        best_composite = float("inf")
+        kept_candidates: List[Plan] = []  # only populated without heuristics
+
+        def leaf(choices: List[Choice]) -> Optional[Plan]:
+            nonlocal best, best_score, best_composite
+            stats.candidates_scored += 1
+            try:
+                vignettes, scheme = instantiate(logical, choices, self.model)
+            except ExpansionError:
+                return None
+            score = score_vignettes(
+                vignettes, self.env.num_participants, self.model
+            )
+            if not self.constraints.allows(score.cost):
+                stats.pruned_by_constraint += 1
+                return None
+            stats.candidates_feasible += 1
+            plan = Plan(
+                query_name=logical.query_name,
+                choices={c.key: c.label() for c in choices},
+                vignettes=vignettes,
+                scheme=scheme,
+                score=score,
+                choice_list=list(choices),
+            )
+            if self.goal.better(score.cost, best_score, best_composite):
+                best = plan
+                best_score = self.goal.score(score.cost)
+                best_composite = self.goal.composite(score.cost)
+            return plan
+
+        def dfs(depth: int, choices: List[Choice]) -> None:
+            if depth == len(space):
+                plan = leaf(choices)
+                if not self.heuristics and plan is not None:
+                    kept_candidates.append(plan)
+                    if len(kept_candidates) > self.memory_budget_candidates:
+                        raise PlannerOutOfMemory(
+                            f"naive enumeration exceeded the memory budget of "
+                            f"{self.memory_budget_candidates} candidates for "
+                            f"query {logical.query_name!r}"
+                        )
+                return
+            for choice in space[depth][1]:
+                stats.prefixes_considered += 1
+                next_choices = choices + [choice]
+                if self.heuristics:
+                    try:
+                        vignettes, _scheme = instantiate(
+                            logical, next_choices, self.model, partial=True
+                        )
+                    except ExpansionError:
+                        continue
+                    partial_score = score_vignettes(
+                        vignettes, self.env.num_participants, self.model
+                    )
+                    violation = self.constraints.first_violation(partial_score.cost)
+                    if violation is not None:
+                        stats.pruned_by_constraint += 1
+                        continue
+                    partial_value = self.goal.score(partial_score.cost)
+                    # Strict bound: costs only grow as ops are added, so a
+                    # prefix already *strictly* above the incumbent cannot
+                    # improve it; ties stay open for the lexicographic
+                    # composite to decide at the leaves.
+                    if partial_value > best_score and not self.goal.is_tied(
+                        partial_value, best_score
+                    ):
+                        stats.pruned_by_bound += 1
+                        continue
+                dfs(depth + 1, next_choices)
+
+        dfs(0, [])
+        stats.runtime_seconds = time.perf_counter() - started
+        result = PlanningResult(best, stats, certificate, logical)
+        if best is None:
+            raise PlanningFailed(
+                f"no plan for {logical.query_name!r} satisfies the constraints "
+                f"({stats.candidates_scored} candidates scored, "
+                f"{stats.pruned_by_constraint} pruned by constraints)"
+            )
+        return result
+
+
+def plan_query(
+    source: str,
+    env: QueryEnvironment,
+    name: str = "query",
+    constraints: Optional[Constraints] = None,
+    goal: Optional[Goal] = None,
+    model: Optional[CostModel] = None,
+    heuristics: bool = True,
+) -> PlanningResult:
+    """One-call convenience wrapper: source text in, PlanningResult out."""
+    planner = Planner(
+        env,
+        model=model,
+        constraints=constraints,
+        goal=goal,
+        heuristics=heuristics,
+    )
+    return planner.plan_source(source, name)

@@ -1,0 +1,111 @@
+"""JSON-safe serialization of plans and planning results.
+
+Deployments need to ship the chosen plan around: the aggregator publishes
+it inside the query authorization certificate, committees check the
+vignette they execute against it, and tooling wants to diff plans across
+planner versions. This module renders plans and planning results as plain
+dictionaries (stable key order, no custom types) suitable for
+``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict
+
+from .costmodel import CostVector, Work
+from .plan import Plan, Vignette
+from .search import PlanningResult
+
+
+def work_to_dict(work: Work) -> Dict[str, float]:
+    """Non-zero work counters only, for compact plan documents."""
+    out = {}
+    for f in fields(Work):
+        value = getattr(work, f.name)
+        if value:
+            out[f.name] = value
+    return out
+
+
+def vignette_to_dict(vignette: Vignette) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": vignette.name,
+        "location": vignette.location.value,
+        "crypto": vignette.crypto,
+        "instances": vignette.instances,
+        "work": work_to_dict(vignette.work),
+    }
+    if vignette.committee_group is not None:
+        out["committee_group"] = vignette.committee_group
+        out["committee_type"] = vignette.committee_type
+    return out
+
+
+def cost_to_dict(cost: CostVector) -> Dict[str, float]:
+    return {metric: cost.get(metric) for metric in CostVector.METRICS}
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    score = plan.score
+    return {
+        "query": plan.query_name,
+        "scheme": {
+            "name": plan.scheme.name,
+            "ring_log2": plan.scheme.ring_log2,
+            "ciphertext_modulus_bits": plan.scheme.ciphertext_modulus_bits,
+            "ciphertext_bytes": plan.scheme.ciphertext_bytes,
+        },
+        "choices": dict(sorted(plan.choices.items())),
+        "committees": {
+            "count": score.committee_params.num_committees,
+            "size": score.committee_params.committee_size,
+            "malicious_fraction": score.committee_params.malicious_fraction,
+            "churn_tolerance": score.committee_params.churn_tolerance,
+        },
+        "cost": cost_to_dict(plan.cost),
+        "committee_breakdown": [
+            {
+                "type": entry.committee_type,
+                "seconds": entry.seconds,
+                "bytes_sent": entry.bytes_sent,
+                "committees": entry.committees,
+            }
+            for entry in score.committee_breakdown
+        ],
+        "vignettes": [vignette_to_dict(v) for v in plan.vignettes],
+    }
+
+
+def planning_result_to_dict(result: PlanningResult) -> Dict[str, Any]:
+    stats = result.statistics
+    out: Dict[str, Any] = {
+        "succeeded": result.succeeded,
+        "certificate": {
+            "epsilon": result.certificate.epsilon,
+            "delta": result.certificate.delta,
+            "mechanisms": [
+                {
+                    "mechanism": use.mechanism,
+                    "epsilon": use.epsilon,
+                    "delta": use.delta,
+                    "k": use.k,
+                    "sensitivity_l1": use.sensitivity.l1,
+                    "sensitivity_linf": use.sensitivity.linf,
+                }
+                for use in result.certificate.mechanisms
+            ],
+        },
+        "statistics": {
+            "space_size": stats.space_size,
+            "prefixes_considered": stats.prefixes_considered,
+            "candidates_scored": stats.candidates_scored,
+            "candidates_feasible": stats.candidates_feasible,
+            "pruned_by_constraint": stats.pruned_by_constraint,
+            "pruned_by_bound": stats.pruned_by_bound,
+            "runtime_seconds": stats.runtime_seconds,
+        },
+    }
+    if result.plan is not None:
+        out["plan"] = plan_to_dict(result.plan)
+    return out

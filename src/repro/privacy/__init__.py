@@ -1,0 +1,35 @@
+"""Differential privacy: mechanisms, certification, budget, sampling."""
+
+from .accountant import BudgetExceeded, PrivacyAccountant, PrivacyCost
+from .certify import Certificate, CertificationError, Sensitivity, certify
+from .mechanisms import (
+    exponential_mechanism_expo,
+    exponential_mechanism_gumbel,
+    laplace_mechanism,
+    laplace_sample,
+    gumbel_sample,
+    noisy_max_with_gap,
+    top_k_oneshot,
+    top_k_pay_what_you_get,
+)
+from .sampling import BinSamplingPlan, amplified_epsilon
+
+__all__ = [
+    "PrivacyAccountant",
+    "PrivacyCost",
+    "BudgetExceeded",
+    "Certificate",
+    "CertificationError",
+    "Sensitivity",
+    "certify",
+    "laplace_sample",
+    "laplace_mechanism",
+    "gumbel_sample",
+    "exponential_mechanism_expo",
+    "exponential_mechanism_gumbel",
+    "top_k_pay_what_you_get",
+    "top_k_oneshot",
+    "noisy_max_with_gap",
+    "amplified_epsilon",
+    "BinSamplingPlan",
+]

@@ -1,0 +1,72 @@
+"""Privacy budget accounting (§5.2).
+
+The key-generation committee checks, before authorizing a query, whether
+the remaining balance in the analyst's privacy budget is sufficient; if
+not, the query fails. The remaining balance travels inside the query
+authorization certificate from one query's committee to the next.
+
+Composition is basic/sequential: epsilons and deltas add. That is what the
+paper's certificate mechanism needs — it carries a single scalar balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class BudgetExceeded(Exception):
+    """Raised when a query would overdraw the privacy budget."""
+
+
+@dataclass(frozen=True)
+class PrivacyCost:
+    """The (ε, δ) price of one query."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self):
+        if self.epsilon < 0 or self.delta < 0:
+            raise ValueError("privacy costs cannot be negative")
+
+    def __add__(self, other: "PrivacyCost") -> "PrivacyCost":
+        return PrivacyCost(self.epsilon + other.epsilon, self.delta + other.delta)
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks the global (ε, δ) budget across queries.
+
+    ``charge`` is atomic: it either debits the full cost or raises
+    BudgetExceeded and leaves the balance untouched, so a rejected query
+    consumes nothing (the committee simply refuses to sign the certificate).
+    """
+
+    epsilon_budget: float
+    delta_budget: float = 0.0
+    spent: PrivacyCost = field(default_factory=lambda: PrivacyCost(0.0, 0.0))
+    history: List[Tuple[str, PrivacyCost]] = field(default_factory=list)
+
+    def remaining(self) -> PrivacyCost:
+        return PrivacyCost(
+            max(0.0, self.epsilon_budget - self.spent.epsilon),
+            max(0.0, self.delta_budget - self.spent.delta),
+        )
+
+    def can_afford(self, cost: PrivacyCost) -> bool:
+        total = self.spent + cost
+        return (
+            total.epsilon <= self.epsilon_budget + 1e-12
+            and total.delta <= self.delta_budget + 1e-15
+        )
+
+    def charge(self, cost: PrivacyCost, label: str = "query") -> None:
+        if not self.can_afford(cost):
+            remaining = self.remaining()
+            raise BudgetExceeded(
+                f"query {label!r} needs (ε={cost.epsilon:g}, δ={cost.delta:g}) "
+                f"but only (ε={remaining.epsilon:g}, δ={remaining.delta:g}) remains"
+            )
+        self.spent = self.spent + cost
+        self.history.append((label, cost))

@@ -1,0 +1,104 @@
+"""Secrecy of the sample (§2.1, §6).
+
+Sampling a φ-fraction of the participants before running an ε-DP query
+amplifies the guarantee to ln(1 + φ(e^ε − 1)) — *provided nobody can see
+who was sampled*. Arboretum implements this obliviously with ciphertext
+bins: each participant places its encrypted input into a uniformly random
+bin out of b; a committee samples a secret window of x bins and decrypts
+only the sum over that window. Participants cannot tell whether they were
+sampled, and the committee never learns which bins participants chose.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def amplified_epsilon(epsilon: float, phi: float) -> float:
+    """Privacy amplification by subsampling: ln(1 + φ(e^ε − 1))."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0.0 < phi <= 1.0:
+        raise ValueError("sampling fraction must be in (0, 1]")
+    return math.log(1.0 + phi * (math.exp(epsilon) - 1.0))
+
+
+def required_phi(target_epsilon: float, mechanism_epsilon: float) -> float:
+    """The sampling fraction that turns mechanism ε into the target ε."""
+    if target_epsilon >= mechanism_epsilon:
+        return 1.0
+    return (math.exp(target_epsilon) - 1.0) / (math.exp(mechanism_epsilon) - 1.0)
+
+
+@dataclass(frozen=True)
+class BinSamplingPlan:
+    """Parameters for the oblivious bin-sampling protocol (§6).
+
+    ``num_bins`` b is the number of slot groups in a standard ciphertext;
+    ``window`` x is the number of consecutive (mod b) bins the committee
+    decrypts, so the realized sampling fraction is x/b.
+    """
+
+    num_bins: int
+    window: int
+
+    def __post_init__(self):
+        if self.num_bins < 1:
+            raise ValueError("need at least one bin")
+        if not 1 <= self.window <= self.num_bins:
+            raise ValueError("window must be between 1 and num_bins")
+
+    @property
+    def fraction(self) -> float:
+        return self.window / self.num_bins
+
+    @classmethod
+    def for_fraction(cls, phi: float, num_bins: int) -> "BinSamplingPlan":
+        """Closest bin plan for a desired sampling fraction x/b ≈ φ."""
+        window = max(1, min(num_bins, round(phi * num_bins)))
+        return cls(num_bins, window)
+
+    def choose_participant_bin(self, rng: random.Random) -> int:
+        """Each device picks its bin uniformly and independently."""
+        return rng.randrange(self.num_bins)
+
+    def choose_committee_offset(self, rng: random.Random) -> int:
+        """The committee's secret window start j, sampled uniformly."""
+        return rng.randrange(self.num_bins)
+
+    def sampled_bins(self, offset: int) -> List[int]:
+        """The bins [j, j + x) modulo b that the committee will include."""
+        return [(offset + i) % self.num_bins for i in range(self.window)]
+
+    def selection_mask(self, offset: int) -> List[int]:
+        """Per-bin 0/1 mask — multiplied into the aggregate before summing,
+        so bins outside the window contribute zero (the §6 construction)."""
+        mask = [0] * self.num_bins
+        for b in self.sampled_bins(offset):
+            mask[b] = 1
+        return mask
+
+    def is_sampled(self, participant_bin: int, offset: int) -> bool:
+        delta = (participant_bin - offset) % self.num_bins
+        return delta < self.window
+
+
+def apply_mask(binned_counts: Sequence[Sequence[int]], mask: Sequence[int]) -> List[int]:
+    """Sum per-bin count vectors over the masked window.
+
+    ``binned_counts[b]`` is the aggregate count vector for bin b (what the
+    committee holds after homomorphic summation); the result is the sampled
+    aggregate the query runs on.
+    """
+    if not binned_counts:
+        raise ValueError("no bins to sample from")
+    width = len(binned_counts[0])
+    out = [0] * width
+    for b, counts in enumerate(binned_counts):
+        if mask[b]:
+            for i, c in enumerate(counts):
+                out[i] += c
+    return out

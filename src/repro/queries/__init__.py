@@ -1,0 +1,18 @@
+"""The evaluation queries from Table 2, plus extensions (quantiles, range
+counts, count-mean sketches)."""
+
+from .catalog import ALL_QUERIES, BY_NAME, LEGACY_SYSTEMS, QuerySpec, get
+from .extensions import quantile_query, range_count_query
+from .sketches import CountMeanSketch, SketchParams
+
+__all__ = [
+    "ALL_QUERIES",
+    "BY_NAME",
+    "LEGACY_SYSTEMS",
+    "QuerySpec",
+    "get",
+    "quantile_query",
+    "range_count_query",
+    "CountMeanSketch",
+    "SketchParams",
+]

@@ -1,0 +1,176 @@
+"""Count-mean sketch: the data structure behind the ``cms`` query.
+
+Honeycrisp's workload (and Apple's telemetry pipeline it models) is not a
+plain counter: each device hashes its item into one row of a k x m sketch
+matrix, the aggregator sums the per-device matrices homomorphically, noise
+is added once, and the analyst estimates any item's frequency by averaging
+its k cells (debiased for hash collisions). This module implements the
+sketch — client encoding, aggregation, DP noising, and estimation — so the
+cms pipeline can run over a realistic domain that is far larger than the
+sketch itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..privacy.mechanisms import laplace_sample
+
+
+def _cell(item: str, row: int, width: int) -> int:
+    digest = hashlib.sha256(f"{row}:{item}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % width
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Sketch geometry: k hash rows of m cells each."""
+
+    depth: int = 4  # k
+    width: int = 256  # m
+
+    def __post_init__(self):
+        if self.depth < 1 or self.width < 2:
+            raise ValueError("sketch needs depth >= 1 and width >= 2")
+
+    @property
+    def cells(self) -> int:
+        return self.depth * self.width
+
+
+def encode_row(item: str, params: SketchParams) -> List[int]:
+    """The flattened 0/1 vector a device uploads: one cell set per row.
+
+    This is exactly the ``db`` row of the cms query — a bounded vector the
+    input ZKP range-checks — with ``params.cells`` entries of which
+    ``depth`` are 1.
+    """
+    row = [0] * params.cells
+    for r in range(params.depth):
+        row[r * params.width + _cell(item, r, params.width)] = 1
+    return row
+
+
+def aggregate_rows(rows: Sequence[Sequence[int]], params: SketchParams) -> List[int]:
+    """Cell-wise sum of device uploads (the aggregator's homomorphic sum)."""
+    totals = [0] * params.cells
+    for row in rows:
+        if len(row) != params.cells:
+            raise ValueError("row does not match the sketch geometry")
+        for i, v in enumerate(row):
+            totals[i] += v
+    return totals
+
+
+def noise_sketch(
+    totals: Sequence[int],
+    epsilon: float,
+    params: SketchParams,
+    rng: random.Random,
+) -> List[float]:
+    """Add Laplace noise for (epsilon, 0)-DP.
+
+    A device sets exactly ``depth`` cells, so the sketch's L1 sensitivity
+    is ``depth``; each cell gets Lap(depth/epsilon).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    scale = params.depth / epsilon
+    return [v + laplace_sample(scale, rng) for v in totals]
+
+
+@dataclass
+class CountMeanSketch:
+    """The analyst-side estimator over a (noised) aggregated sketch."""
+
+    params: SketchParams
+    cells: List[float]
+    total_devices: int
+
+    def estimate(self, item: str) -> float:
+        """Debiased count-mean estimate of one item's frequency.
+
+        Each of the item's k cells holds its true count plus ~N/m worth of
+        colliding mass; the standard debiasing is
+        (mean_cell - N/m) / (1 - 1/m).
+        """
+        params = self.params
+        mean = (
+            sum(
+                self.cells[r * params.width + _cell(item, r, params.width)]
+                for r in range(params.depth)
+            )
+            / params.depth
+        )
+        expected_collisions = self.total_devices / params.width
+        return (mean - expected_collisions) / (1.0 - 1.0 / params.width)
+
+    def heavy_hitters(
+        self, candidates: Sequence[str], threshold: float
+    ) -> Dict[str, float]:
+        """Candidate items whose estimated frequency exceeds the threshold."""
+        out = {}
+        for item in candidates:
+            estimate = self.estimate(item)
+            if estimate >= threshold:
+                out[item] = estimate
+        return out
+
+
+def build_sketch(
+    items: Sequence[str],
+    params: SketchParams,
+    epsilon: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> CountMeanSketch:
+    """Full centralized pipeline: encode, aggregate, optionally noise.
+
+    (The federated pipeline runs the same encode/aggregate steps through
+    the executor — see tests — with the ZKP range statements guarding the
+    uploads; this helper is the reference and the analyst-side tool.)
+    """
+    rows = [encode_row(item, params) for item in items]
+    totals = aggregate_rows(rows, params)
+    if epsilon is not None:
+        cells = noise_sketch(totals, epsilon, params, rng or random.Random())
+    else:
+        cells = [float(v) for v in totals]
+    return CountMeanSketch(params, cells, len(items))
+
+
+def sketch_query_source(params: SketchParams) -> str:
+    """The cms query over a real sketch, as a vector Laplace release.
+
+    A device's row sets exactly ``depth`` cells, so the sketch vector's L1
+    sensitivity is 2*depth (a changed item clears k cells and sets k
+    others); noising every cell at scale 2*depth/epsilon makes the joint
+    release epsilon-DP. The certifier verifies this from the environment's
+    ZKP-enforced ``row_l1`` promise.
+    """
+    return f"""
+aggr = sum(db);
+noisy = laplace(aggr, 2 * {params.depth} * sens / epsilon);
+c = len(noisy);
+for i = 0 to c - 1 do
+  output(noisy[i]);
+endfor
+"""
+
+
+def sketch_environment(
+    params: SketchParams, num_participants: int, epsilon: float = 1.0
+):
+    """The QueryEnvironment for the sketch query (row_l1 = depth)."""
+    from ..analysis.types import QueryEnvironment
+
+    return QueryEnvironment(
+        num_participants=num_participants,
+        row_width=params.cells,
+        epsilon=epsilon,
+        sensitivity=1.0,
+        row_encoding="bounded",
+        row_l1=float(params.depth),
+    )

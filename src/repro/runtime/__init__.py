@@ -1,0 +1,25 @@
+"""Execution runtime (§5): simulated federated network, aggregator,
+committees with VSR hand-offs, secure interpreter, and the executor."""
+
+from .aggregator import AggregatorNode, Upload
+from .committee import Committee, CommitteePool
+from .executor import ExecutionError, QueryExecutor, QueryRejected, QueryResult
+from .interp import InterpreterError, MechanismHooks, Secret, SecureInterpreter
+from .network import Device, FederatedNetwork
+
+__all__ = [
+    "AggregatorNode",
+    "Upload",
+    "Committee",
+    "CommitteePool",
+    "QueryExecutor",
+    "QueryResult",
+    "QueryRejected",
+    "ExecutionError",
+    "SecureInterpreter",
+    "MechanismHooks",
+    "Secret",
+    "InterpreterError",
+    "Device",
+    "FederatedNetwork",
+]

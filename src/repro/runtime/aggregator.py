@@ -1,0 +1,176 @@
+"""The aggregator node: upload intake, ZKP verification, Merkle commitments,
+homomorphic aggregation, and the committee mailbox (§5.3, §5.4).
+
+The aggregator is untrusted (OB threat model, §3.1): everything it computes
+is committed into a Merkle tree whose leaves the participants audit, its
+mailbox only ever carries committee payloads it cannot read, and malformed
+participant uploads are filtered by their ZKPs before aggregation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto import paillier
+from ..crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from ..crypto.zkp import InputProof, verify as zkp_verify
+
+
+@dataclass
+class Upload:
+    """One device's submission: ciphertext vector, proof, and (simulation
+    only) the witness the proof is checked against — in a deployment the
+    SNARK checks the circuit directly and no witness ever leaves the device.
+    """
+
+    device_id: int
+    ciphertexts: List[paillier.PaillierCiphertext]
+    proof: InputProof
+    witness: Sequence[int]
+
+    def digest(self) -> bytes:
+        h = hashlib.sha256()
+        h.update(self.device_id.to_bytes(8, "big"))
+        for ct in self.ciphertexts:
+            h.update(ct.value.to_bytes((ct.value.bit_length() + 7) // 8 or 1, "big"))
+        return h.digest()
+
+
+def ciphertext_vector_digest(cts: Sequence[paillier.PaillierCiphertext]) -> bytes:
+    h = hashlib.sha256()
+    for ct in cts:
+        h.update(ct.value.to_bytes((ct.value.bit_length() + 7) // 8 or 1, "big"))
+    return h.digest()
+
+
+@dataclass
+class StepCommitment:
+    """One audited computation step: a label and the result digest."""
+
+    label: str
+    digest: bytes
+
+
+class AggregatorNode:
+    """The coordinator: honest-but-auditable in the simulation.
+
+    Test hooks (``tamper_with_upload``, ``corrupt_step``) let tests exercise
+    the Byzantine-aggregator detection paths.
+    """
+
+    def __init__(self, public_key: paillier.PaillierPublicKey):
+        self.public_key = public_key
+        self.uploads: List[Upload] = []
+        self.rejected: List[int] = []
+        self.steps: List[StepCommitment] = []
+        self._step_tree: Optional[MerkleTree] = None
+        self.mailbox: Dict[str, List[object]] = {}
+
+    # ----------------------------------------------------------------- input
+
+    def receive_upload(self, upload: Upload) -> None:
+        self.uploads.append(upload)
+
+    def verify_uploads(self) -> List[Upload]:
+        """Check every upload's ZKP; malformed inputs are dropped (§5.3)."""
+        accepted: List[Upload] = []
+        for upload in self.uploads:
+            expected_digest = ciphertext_vector_digest(upload.ciphertexts)
+            if upload.proof.ciphertext_digest != expected_digest:
+                self.rejected.append(upload.device_id)
+                continue
+            if not zkp_verify(upload.proof, upload.witness):
+                self.rejected.append(upload.device_id)
+                continue
+            accepted.append(upload)
+        return accepted
+
+    # ------------------------------------------------------------- aggregate
+
+    def aggregate(self, accepted: Sequence[Upload]) -> List[paillier.PaillierCiphertext]:
+        """Homomorphically sum the accepted ciphertext vectors slot-wise."""
+        if not accepted:
+            raise ValueError("no accepted uploads to aggregate")
+        width = len(accepted[0].ciphertexts)
+        if any(len(u.ciphertexts) != width for u in accepted):
+            raise ValueError("uploads have inconsistent widths")
+        totals = list(accepted[0].ciphertexts)
+        for upload in accepted[1:]:
+            totals = [
+                paillier.add_ciphertexts(a, b)
+                for a, b in zip(totals, upload.ciphertexts)
+            ]
+        return totals
+
+    # ----------------------------------------------------------------- audit
+
+    def commit_step(self, label: str, digest: bytes) -> None:
+        """Record a computation step for later participant audits (§5.3)."""
+        self.steps.append(StepCommitment(label, digest))
+        self._step_tree = None
+
+    def publish_step_root(self) -> bytes:
+        if not self.steps:
+            raise ValueError("no steps committed yet")
+        if self._step_tree is None:
+            leaves = [s.label.encode() + b"\x00" + s.digest for s in self.steps]
+            self._step_tree = MerkleTree(leaves)
+        return self._step_tree.root
+
+    def answer_audit(self, leaf_index: int) -> Tuple[bytes, InclusionProof]:
+        """Return (leaf, inclusion proof) for a participant's challenge."""
+        self.publish_step_root()
+        return self._step_tree.leaf(leaf_index), self._step_tree.prove(leaf_index)
+
+    def run_audits(self, rng: random.Random, auditors: int, leaves_each: int = 2) -> int:
+        """Simulate ``auditors`` devices auditing random leaves; returns the
+        number of failed audits (0 for an honest aggregator)."""
+        root = self.publish_step_root()
+        failures = 0
+        for _ in range(auditors):
+            for _ in range(leaves_each):
+                index = rng.randrange(len(self.steps))
+                leaf, proof = self.answer_audit(index)
+                if not verify_inclusion(root, leaf, proof):
+                    failures += 1
+        return failures
+
+    # --------------------------------------------------------------- mailbox
+
+    def post(self, channel: str, message: object) -> None:
+        """Committees deposit (encrypted/signed) payloads for the next
+        vignette; the aggregator cannot read them (§5.4)."""
+        self.mailbox.setdefault(channel, []).append(message)
+
+    def fetch(self, channel: str) -> List[object]:
+        return self.mailbox.pop(channel, [])
+
+    # ------------------------------------------------------------ test hooks
+
+    def tamper_with_upload(self, index: int) -> None:
+        """Byzantine hook: corrupt a stored upload's first ciphertext."""
+        upload = self.uploads[index]
+        ct = upload.ciphertexts[0]
+        upload.ciphertexts[0] = paillier.PaillierCiphertext(ct.value + 1, ct.n)
+
+    def corrupt_step(self, index: int) -> None:
+        """Byzantine hook: rewrite a committed step after publication."""
+        self.publish_step_root()
+        self.steps[index] = StepCommitment(
+            self.steps[index].label, b"\x00" * 32
+        )
+        # Keep the stale tree: audits now verify against mismatched data.
+        tree = self._step_tree
+
+        def answer(leaf_index: int, _tree=tree):
+            leaf = (
+                self.steps[leaf_index].label.encode()
+                + b"\x00"
+                + self.steps[leaf_index].digest
+            )
+            return leaf, _tree.prove(leaf_index)
+
+        self.answer_audit = answer  # type: ignore[method-assign]

@@ -1,0 +1,119 @@
+"""Query authorization certificates (§5.2).
+
+Before a query runs, the key-generation committee jointly signs a
+certificate containing: the public key(s), the query sequence number, a
+digest of the query plan, the remaining privacy-budget balance for the
+next query's committee, a fresh Merkle root of the registered devices
+(pinning the registry prevents "computational grinding" by a Byzantine
+aggregator that knows the next random block), and the next random block
+itself. The aggregator publishes the certificate; anyone can check that an
+honest-majority quorum of the committee signed it.
+
+Signatures are HMAC tags under per-device secrets — the committee's
+deterministic-signature stand-in used throughout this reproduction (see
+DESIGN.md's substitution table). Verification requires the device-secret
+registry, which in the simulation the verifier holds; the structural
+property exercised is the real one: a certificate is valid iff a quorum of
+the *selected* committee endorsed exactly these contents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CertificateBody:
+    """The signed contents."""
+
+    query_sequence: int
+    public_key_digest: bytes
+    plan_digest: bytes
+    epsilon_remaining: float
+    delta_remaining: float
+    registry_root: bytes
+    next_block: bytes
+
+    def digest(self) -> bytes:
+        h = hashlib.sha256()
+        h.update(self.query_sequence.to_bytes(8, "big"))
+        h.update(self.public_key_digest)
+        h.update(self.plan_digest)
+        h.update(f"{self.epsilon_remaining:.12e}".encode())
+        h.update(f"{self.delta_remaining:.12e}".encode())
+        h.update(self.registry_root)
+        h.update(self.next_block)
+        return h.digest()
+
+
+@dataclass(frozen=True)
+class QueryAuthorizationCertificate:
+    """A certificate body plus the committee members' signatures."""
+
+    body: CertificateBody
+    committee: Tuple[int, ...]
+    signatures: Dict[int, bytes] = field(default_factory=dict)
+
+    def quorum(self) -> int:
+        """Signatures needed: an honest majority of the committee."""
+        return len(self.committee) // 2 + 1
+
+
+class CertificateError(Exception):
+    """Raised when a certificate fails verification."""
+
+
+def _sign(secret: bytes, digest: bytes) -> bytes:
+    return hmac.new(secret, b"query-auth:" + digest, hashlib.sha256).digest()
+
+
+def issue_certificate(
+    body: CertificateBody,
+    committee: Sequence[int],
+    member_secrets: Dict[int, bytes],
+) -> QueryAuthorizationCertificate:
+    """Each committee member signs the body; offline members simply don't."""
+    digest = body.digest()
+    signatures = {
+        member: _sign(member_secrets[member], digest)
+        for member in committee
+        if member in member_secrets
+    }
+    return QueryAuthorizationCertificate(body, tuple(committee), signatures)
+
+
+def verify_certificate(
+    certificate: QueryAuthorizationCertificate,
+    member_secrets: Dict[int, bytes],
+) -> None:
+    """Check quorum and signature validity; raises CertificateError.
+
+    A Byzantine aggregator cannot forge this: it would need signatures
+    from a majority of a sortition-selected committee, and (OB+MC, §3.1)
+    such a majority is honest with overwhelming probability.
+    """
+    digest = certificate.body.digest()
+    valid = 0
+    for member, signature in certificate.signatures.items():
+        if member not in certificate.committee:
+            raise CertificateError(f"signature from non-member {member}")
+        secret = member_secrets.get(member)
+        if secret is None:
+            continue
+        if hmac.compare_digest(signature, _sign(secret, digest)):
+            valid += 1
+        else:
+            raise CertificateError(f"invalid signature from member {member}")
+    if valid < certificate.quorum():
+        raise CertificateError(
+            f"only {valid} valid signatures; quorum is {certificate.quorum()}"
+        )
+
+
+def plan_digest(plan_description: str) -> bytes:
+    """Digest of the plan the certificate authorizes (committees will only
+    execute vignettes of this exact plan)."""
+    return hashlib.sha256(plan_description.encode()).digest()

@@ -1,0 +1,183 @@
+"""Committees: MPC engines with VSR hand-offs between them (§5.2, §5.4).
+
+Each committee wraps an honest-majority MPC engine over its members. When
+intermediate state must move from one committee to the next (key shares
+from the key-generation committee to decryption committees, decrypted
+aggregates to noising committees, partial argmax results up the tree), the
+sending committee verifiably re-shares it with VSR; as long as both
+committees have honest majorities the receiving committee reconstructs a
+fresh sharing of the same secrets, and tampered sub-shares are detected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.field import DEFAULT_FIELD, PrimeField
+from ..crypto.shamir import Share
+from ..crypto.vsr import redistribute_vector
+from ..mpc.engine import MPCEngine, SecretValue
+
+#: Big integers (Paillier key material) are carried as base-2^LIMB_BITS
+#: limbs so they fit the MPC field.
+LIMB_BITS = 96
+
+
+def bigint_to_limbs(value: int, count: int) -> List[int]:
+    """Split a non-negative integer into ``count`` fixed-width limbs."""
+    if value < 0:
+        raise ValueError("only non-negative integers can be limb-encoded")
+    mask = (1 << LIMB_BITS) - 1
+    limbs = [(value >> (LIMB_BITS * i)) & mask for i in range(count)]
+    if value >> (LIMB_BITS * count):
+        raise OverflowError(f"{count} limbs cannot hold a {value.bit_length()}-bit value")
+    return limbs
+
+
+def limbs_to_bigint(limbs: Sequence[int]) -> int:
+    value = 0
+    for i, limb in enumerate(limbs):
+        value |= limb << (LIMB_BITS * i)
+    return value
+
+
+class Committee:
+    """One sortition-selected committee and its MPC engine."""
+
+    def __init__(
+        self,
+        name: str,
+        members: Sequence[int],
+        rng: random.Random,
+        field: PrimeField = DEFAULT_FIELD,
+        bit_width: int = 40,
+    ):
+        if len(members) < 3:
+            raise ValueError("a committee needs at least 3 members")
+        self.name = name
+        self.members = list(members)
+        self.field = field
+        self.rng = rng
+        self.engine = MPCEngine(
+            len(members), field=field, rng=rng, bit_width=bit_width
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def threshold(self) -> int:
+        return self.engine.threshold
+
+    # --------------------------------------------------------------- sharing
+
+    def share_values(self, values: Sequence[int]) -> List[SecretValue]:
+        """Secret-share cleartext values held inside this committee's MPC."""
+        return [self.engine.input_value(v) for v in values]
+
+    def export_vector(self, values: Sequence[SecretValue]) -> Dict[int, List[Share]]:
+        """Collect per-party share vectors, ready for VSR."""
+        out: Dict[int, List[Share]] = {pid: [] for pid in self.engine.party_ids}
+        for value in values:
+            for pid, share in self.engine.export_shares(value).items():
+                out[pid].append(share)
+        return out
+
+    # ------------------------------------------------------------------ VSR
+
+    def send_via_vsr(
+        self, values: Sequence[SecretValue], recipient: "Committee"
+    ) -> List[SecretValue]:
+        """Verifiably re-share ``values`` into the recipient's engine.
+
+        In deployment the redistribution messages travel through the
+        aggregator's mailbox, signed and encrypted; here the exchange is
+        in-process but runs the full VSR protocol (Feldman-committed
+        sub-shares, per-recipient verification).
+        """
+        if recipient.field.modulus != self.field.modulus:
+            raise ValueError("committees must share a field for VSR")
+        old_vectors = self.export_vector(values)
+        new_shares = redistribute_vector(
+            old_vectors,
+            self.threshold,
+            recipient.threshold,
+            recipient.engine.party_ids,
+            self.field,
+            self.rng,
+        )
+        out: List[SecretValue] = []
+        for i in range(len(values)):
+            per_value = {pid: new_shares[pid][i] for pid in recipient.engine.party_ids}
+            out.append(recipient.engine.input_shares(per_value))
+        return out
+
+
+class CommitteeError(Exception):
+    """Raised when no usable committee can be assembled."""
+
+
+class CommitteePool:
+    """Allocates committees from a sortition assignment, in order.
+
+    The executor asks for committees one at a time; each request consumes
+    the next block of selected devices. If the sortition round selected
+    fewer committees than a small-scale plan needs, selection wraps around
+    (the §5.1 fallback of reassigning tasks to committee i+1 mod c). The
+    same fallback handles churn: a committee that lost more than the
+    tolerated fraction of members to churn is skipped and its task moves
+    to the next committee.
+    """
+
+    def __init__(
+        self,
+        committees: List[List[int]],
+        rng: random.Random,
+        field: PrimeField = DEFAULT_FIELD,
+        bit_width: int = 40,
+        online_filter: Optional[callable] = None,
+        churn_tolerance: float = 0.25,
+    ):
+        if not committees:
+            raise ValueError("sortition produced no committees")
+        self._memberships = committees
+        self._next = 0
+        self._rng = rng
+        self._field = field
+        self._bit_width = bit_width
+        self._online_filter = online_filter
+        self._churn_tolerance = churn_tolerance
+        self.allocated: List[Committee] = []
+        self.skipped: List[List[int]] = []
+
+    def _usable_members(self, members: List[int]) -> Optional[List[int]]:
+        """Online members, or None if the committee lost too many (§5.1)."""
+        if self._online_filter is None:
+            return list(members)
+        online = self._online_filter(members)
+        minimum = max(3, int((1.0 - self._churn_tolerance) * len(members)))
+        if len(online) < minimum:
+            return None
+        return online
+
+    def allocate(self, name: str) -> Committee:
+        attempts = 0
+        while attempts < 2 * len(self._memberships):
+            members = self._memberships[self._next % len(self._memberships)]
+            self._next += 1
+            attempts += 1
+            usable = self._usable_members(members)
+            if usable is None:
+                if members not in self.skipped:
+                    self.skipped.append(members)
+                continue
+            committee = Committee(
+                name, usable, self._rng, field=self._field, bit_width=self._bit_width
+            )
+            self.allocated.append(committee)
+            return committee
+        raise CommitteeError(
+            f"no committee with enough online members for task {name!r}"
+        )

@@ -1,0 +1,501 @@
+"""End-to-end query execution (§5).
+
+The executor drives a chosen plan through the full Arboretum protocol on a
+simulated (small-scale) deployment:
+
+1. **Setup** — sortition selects committees from the current public block
+   (§5.1); the first committee generates the keypair, checks the privacy
+   budget, signs the query authorization certificate, and jointly samples
+   the next round's random block (§5.2).
+2. **Input** — every device one-hot encodes its datum (placing it in a
+   random ciphertext bin when the plan samples, §6), encrypts under the
+   committee's public key, and uploads with a well-formedness ZKP; the
+   aggregator drops malformed uploads (§5.3).
+3. **Processing** — the aggregator homomorphically sums the accepted
+   uploads and commits every step to a Merkle tree that participants
+   audit; decryption committees receive the key via VSR and turn the
+   aggregate into MPC sharings; the remaining program runs in committee
+   MPC via the secure interpreter, with the exponential mechanism fanned
+   out across noising committees and an argmax tree (§5.4, Fig 5).
+4. **Output** — the final committee declassifies only the mechanism's
+   result, which the aggregator publishes (§5.5).
+
+Plans whose ``em`` chose the FHE exponentiation instantiation execute via
+the Gumbel-noise form, which samples from the *identical* distribution
+(the Gumbel-max trick) — see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..crypto import paillier
+from ..crypto.sortition import jointly_generate_block
+from ..crypto.zkp import one_hot_statement, prove, range_statement
+from ..mpc.protocols import (
+    FIXPOINT_SCALE,
+    gumbel_sample,
+    shared_gumbel_noise,
+    shared_laplace_noise,
+    to_fixpoint,
+)
+from ..planner.expand import Choice
+from ..planner.search import PlanningResult
+from ..privacy.accountant import PrivacyAccountant, PrivacyCost
+from ..privacy.sampling import BinSamplingPlan
+from .aggregator import AggregatorNode, Upload, ciphertext_vector_digest
+from .certificate import (
+    CertificateBody,
+    QueryAuthorizationCertificate,
+    issue_certificate,
+    plan_digest,
+    verify_certificate,
+)
+from .committee import Committee, CommitteePool, bigint_to_limbs, limbs_to_bigint
+from .interp import MechanismHooks, Secret, SecureInterpreter
+from .network import FederatedNetwork
+
+
+class QueryRejected(Exception):
+    """Raised when the keygen committee refuses the query (budget)."""
+
+
+class ExecutionError(Exception):
+    """Raised when the protocol cannot complete."""
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one executed query."""
+
+    outputs: List[object]
+    rejected_devices: List[int]
+    audits_failed: int
+    committees_used: int
+    epsilon_charged: float
+    events: List[str] = field(default_factory=list)
+    authorization: Optional[QueryAuthorizationCertificate] = None
+
+    @property
+    def value(self) -> object:
+        return self.outputs[0] if self.outputs else None
+
+
+def hashlib_sha256_int(value: int) -> bytes:
+    """Digest of a big integer (used for public-key fingerprints)."""
+    import hashlib
+
+    width = (value.bit_length() + 7) // 8 or 1
+    return hashlib.sha256(value.to_bytes(width, "big")).digest()
+
+
+class QueryExecutor:
+    """Runs one planned query over a simulated network."""
+
+    def __init__(
+        self,
+        network: FederatedNetwork,
+        planning: PlanningResult,
+        committee_size: int = 5,
+        key_prime_bits: int = 128,
+        rng: Optional[random.Random] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+    ):
+        self.network = network
+        self.planning = planning
+        self.logical = planning.logical_plan
+        self.env = self.logical.env
+        self.committee_size = committee_size
+        self.key_prime_bits = key_prime_bits
+        self.rng = rng or random.Random()
+        self.accountant = accountant
+        self.events: List[str] = []
+        self.pool: Optional[CommitteePool] = None
+        self.certificate: Optional[QueryAuthorizationCertificate] = None
+        self._select_choice = self._find_choice("select_max")
+        self._input_choice = self._find_choice("input")
+
+    # ------------------------------------------------------------- plumbing
+
+    def _find_choice(self, op_prefix: str) -> Optional[Choice]:
+        plan = self.planning.plan
+        if plan is None:
+            return None
+        for choice in getattr(plan, "choice_list", []) or []:
+            if choice.key.startswith(op_prefix):
+                return choice
+        return None
+
+    def _log(self, message: str) -> None:
+        self.events.append(message)
+
+    def _allocate(self, name: str) -> Committee:
+        return self.pool.allocate(name)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> QueryResult:
+        n = len(self.network)
+        m = self.committee_size
+        max_committees = max(1, n // m)
+        assignment = self.network.select_committees(max_committees, m)
+        self.pool = CommitteePool(
+            assignment.committees,
+            self.rng,
+            online_filter=self.network.online_members,
+        )
+        self._log(f"sortition: {max_committees} committees of {m} from {n} devices")
+
+        keygen_committee, secret_key, key_limb_shares = self._keygen()
+        public_key = secret_key.public
+
+        bins, sampling_plan = self._sampling_plan()
+        aggregator = AggregatorNode(public_key)
+        self._submit_inputs(aggregator, public_key, bins)
+        accepted = aggregator.verify_uploads()
+        if not accepted:
+            raise ExecutionError("every upload was rejected")
+        self._log(
+            f"inputs: {len(accepted)} accepted, {len(aggregator.rejected)} rejected"
+        )
+        aggregator.commit_step("inputs", ciphertext_vector_digest(
+            [u.ciphertexts[0] for u in accepted]
+        ))
+
+        totals = aggregator.aggregate(accepted)
+        aggregator.commit_step("aggregate", ciphertext_vector_digest(totals))
+        audits_failed = aggregator.run_audits(self.rng, auditors=min(n, 16))
+        if audits_failed:
+            raise ExecutionError(f"{audits_failed} participant audits failed")
+
+        counts, dec_committee = self._decrypt(
+            totals, keygen_committee, key_limb_shares, secret_key, sampling_plan
+        )
+        self._log(f"decrypted aggregate of {len(counts)} categories")
+
+        outputs = self._run_program(counts, dec_committee)
+        committees_used = len(self.pool.allocated)
+        self._log(f"done: {committees_used} committees participated")
+        return QueryResult(
+            outputs=outputs,
+            rejected_devices=list(aggregator.rejected),
+            audits_failed=audits_failed,
+            committees_used=committees_used,
+            epsilon_charged=self.planning.certificate.epsilon,
+            events=list(self.events),
+            authorization=self.certificate,
+        )
+
+    # ---------------------------------------------------------------- setup
+
+    def _keygen(self) -> Tuple[Committee, paillier.PaillierPrivateKey, Dict[str, List[Secret]]]:
+        committee = self._allocate("keygen")
+        # Budget check happens before any key material is produced (§5.2).
+        if self.accountant is not None:
+            cost = PrivacyCost(
+                self.planning.certificate.epsilon, self.planning.certificate.delta
+            )
+            if not self.accountant.can_afford(cost):
+                raise QueryRejected(
+                    f"privacy budget exhausted for {self.logical.query_name!r}"
+                )
+            self.accountant.charge(cost, self.logical.query_name)
+        secret_key = paillier.keygen(self.key_prime_bits, self.rng)
+        limb_count = math.ceil((2 * self.key_prime_bits + 8) / 96) + 1
+        shares = {
+            "lam": [
+                Secret(committee.engine.input_value(limb))
+                for limb in bigint_to_limbs(secret_key.lam, limb_count)
+            ],
+            "mu": [
+                Secret(committee.engine.input_value(limb))
+                for limb in bigint_to_limbs(secret_key.mu, limb_count)
+            ],
+        }
+        # Jointly generate the next round's randomness (B_{i+1} = xor of
+        # member inputs).
+        contributions = {
+            member: self.rng.getrandbits(256).to_bytes(32, "big")
+            for member in committee.members
+        }
+        next_block = jointly_generate_block(contributions)
+        # Sign the query authorization certificate (§5.2): public key,
+        # sequence number, plan digest, remaining budget, pinned registry,
+        # and the next block.
+        remaining_eps, remaining_delta = float("inf"), float("inf")
+        if self.accountant is not None:
+            remaining = self.accountant.remaining()
+            remaining_eps, remaining_delta = remaining.epsilon, remaining.delta
+        body = CertificateBody(
+            query_sequence=self.network.sortition.round_number,
+            public_key_digest=hashlib_sha256_int(secret_key.public.n),
+            plan_digest=plan_digest(
+                self.planning.plan.describe() if self.planning.plan else "plan"
+            ),
+            epsilon_remaining=min(remaining_eps, 1e18),
+            delta_remaining=min(remaining_delta, 1e18),
+            registry_root=self.network.sortition.registry.root,
+            next_block=next_block,
+        )
+        member_secrets = {
+            member: self.network.device(member).secret
+            for member in committee.members
+        }
+        self.certificate = issue_certificate(body, committee.members, member_secrets)
+        verify_certificate(self.certificate, member_secrets)
+        self.network.advance_round(next_block)
+        self._log(f"keygen committee {committee.members} issued the certificate")
+        return committee, secret_key, shares
+
+    def _sampling_plan(self) -> Tuple[int, Optional[BinSamplingPlan]]:
+        if self.logical.sample_fraction >= 1.0:
+            return 1, None
+        bins = 4
+        if self._input_choice is not None and self._input_choice.params:
+            bins = max(2, min(8, self._input_choice.params[0]))
+        plan = BinSamplingPlan.for_fraction(self.logical.sample_fraction, bins)
+        return bins, plan
+
+    # ---------------------------------------------------------------- input
+
+    def _submit_inputs(
+        self,
+        aggregator: AggregatorNode,
+        public_key: paillier.PaillierPublicKey,
+        bins: int,
+    ) -> None:
+        categories = self.env.row_width
+        one_hot = self.env.row_encoding == "one_hot"
+        width = categories * bins if one_hot else categories
+        if one_hot:
+            statement = one_hot_statement(width)
+        else:
+            lo = int(self.env.db_element.interval.lo)
+            hi = int(self.env.db_element.interval.hi)
+            statement = range_statement(width, lo, hi)
+        round_number = self.network.sortition.round_number
+        for device in self.network.devices:
+            if not device.online:
+                continue  # churned devices simply never upload
+            vector = self._encode_row(device, categories, bins, one_hot, width)
+            cts = [paillier.encrypt(public_key, v, self.rng) for v in vector]
+            digest = ciphertext_vector_digest(cts)
+            proof = prove(statement, vector, device.device_id, round_number, digest)
+            aggregator.receive_upload(Upload(device.device_id, cts, proof, vector))
+
+    def _encode_row(
+        self, device, categories: int, bins: int, one_hot: bool, width: int
+    ) -> List[int]:
+        if one_hot:
+            vector = [0] * width
+            category = int(device.value) % categories
+            bin_index = self.rng.randrange(bins) if bins > 1 else 0
+            vector[bin_index * categories + category] = 1
+            if device.malicious:
+                # Malformed upload: claim membership in several categories.
+                vector = [0] * width
+                for slot in range(min(3, width)):
+                    vector[slot] = 1
+            return vector
+        value = device.value
+        row = list(value) if isinstance(value, (list, tuple)) else [int(value)]
+        if len(row) < width:
+            row = row + [0] * (width - len(row))
+        row = row[:width]
+        if device.malicious:
+            # Out-of-range value ("pretending the user is 1,000 years old").
+            row[0] = 1000
+        return [int(v) for v in row]
+
+    # ---------------------------------------------------------- decryption
+
+    def _decrypt(
+        self,
+        totals: List[paillier.PaillierCiphertext],
+        keygen_committee: Committee,
+        key_limb_shares: Dict[str, List[Secret]],
+        secret_key: paillier.PaillierPrivateKey,
+        sampling_plan: Optional[BinSamplingPlan],
+    ) -> Tuple[List[int], Committee]:
+        dec_committee = self._allocate("decryption")
+        # The private key travels as secret shares via VSR (§5.2); the
+        # decryption committee reconstructs it inside its honest-majority
+        # quorum and jointly decrypts.
+        moved_lam = keygen_committee.send_via_vsr(
+            [s.value for s in key_limb_shares["lam"]], dec_committee
+        )
+        moved_mu = keygen_committee.send_via_vsr(
+            [s.value for s in key_limb_shares["mu"]], dec_committee
+        )
+        lam = limbs_to_bigint([dec_committee.engine.open(v) for v in moved_lam])
+        mu = limbs_to_bigint([dec_committee.engine.open(v) for v in moved_mu])
+        if lam != secret_key.lam or mu != secret_key.mu:
+            raise ExecutionError("VSR key transfer corrupted the private key")
+        reconstructed = paillier.PaillierPrivateKey(secret_key.public, lam, mu)
+        counts = [paillier.decrypt(reconstructed, ct) for ct in totals]
+        if sampling_plan is not None:
+            # Secrecy of the sample (§6): the committee privately picks the
+            # window offset and only the binned window contributes.
+            offset = sampling_plan.choose_committee_offset(self.rng)
+            mask = sampling_plan.selection_mask(offset)
+            categories = self.env.row_width
+            binned = [
+                counts[b * categories : (b + 1) * categories]
+                for b in range(sampling_plan.num_bins)
+            ]
+            counts = [
+                sum(binned[b][i] for b in range(sampling_plan.num_bins) if mask[b])
+                for i in range(categories)
+            ]
+            self._log(
+                f"sampled window of {sampling_plan.window}/{sampling_plan.num_bins} bins"
+            )
+        return counts, dec_committee
+
+    # ------------------------------------------------------------- program
+
+    def _run_program(self, counts: List[int], dec_committee: Committee) -> List[object]:
+        ops_committee = self._allocate("operations")
+        shared_counts = dec_committee.share_values(counts)
+        moved = dec_committee.send_via_vsr(shared_counts, ops_committee)
+        aggregate = [Secret(v) for v in moved]
+
+        hooks = MechanismHooks(
+            em=lambda scores, k: self._run_em(ops_committee, scores, k),
+            laplace=lambda value, scale: self._run_laplace(
+                ops_committee, value, scale
+            ),
+        )
+        bindings: Dict[str, object] = {
+            self.logical.aggregate_var or "aggr": aggregate,
+            "epsilon": self.env.epsilon,
+            "sens": self.env.sensitivity,
+            "N": len(self.network),
+        }
+        for name, value in self.env.constants.items():
+            bindings[name] = value
+        interp = SecureInterpreter(ops_committee.engine, hooks, bindings)
+        outputs = interp.execute(self.logical.post_statements)
+        return [self._publish(v, ops_committee) for v in outputs]
+
+    def _publish(self, value: object, committee: Committee) -> object:
+        if isinstance(value, Secret):
+            # Outputs are mechanism results; opening them is the final
+            # declassification step (§5.5).
+            return committee.engine.open(value.value)
+        if isinstance(value, list):
+            return [self._publish(v, committee) for v in value]
+        return value
+
+    # ------------------------------------------------------------ mechanisms
+
+    def _em_parameters(self) -> Tuple[int, int, int]:
+        """(style, noise_batch, argmax_fanout) from the plan's choice."""
+        style, noise_batch, fanout = 0, 8, 2
+        choice = self._select_choice
+        if choice is not None and choice.option == "gumbel_mpc":
+            style, _dec, noise_batch, fanout = choice.params
+        return style, max(1, noise_batch), max(2, fanout)
+
+    def _run_em(
+        self, ops_committee: Committee, scores: List[Secret], k: int
+    ) -> Union[int, List[int]]:
+        style, noise_batch, fanout = self._em_parameters()
+        iterative = style == 1 and k > 1
+        scale = 2.0 * self.env.sensitivity / self.env.epsilon
+        winners: List[int] = []
+
+        def noise_all() -> List[Tuple[int, Secret, Committee]]:
+            noised: List[Tuple[int, Secret, Committee]] = []
+            for start in range(0, len(scores), noise_batch):
+                batch = scores[start : start + noise_batch]
+                committee = self._allocate(f"noise[{start}]")
+                moved = ops_committee.send_via_vsr(
+                    [s.value for s in batch], committee
+                )
+                for offset, value in enumerate(moved):
+                    scaled = committee.engine.mul_public(value, FIXPOINT_SCALE)
+                    noise = shared_gumbel_noise(committee.engine, scale, self.rng)
+                    noised.append(
+                        (
+                            start + offset,
+                            Secret(committee.engine.add(scaled, noise)),
+                            committee,
+                        )
+                    )
+            return noised
+
+        candidates = noise_all()
+        for _round in range(k):
+            live = [c for c in candidates if c[0] not in winners]
+            winner = self._argmax_tree(live, fanout)
+            winners.append(winner)
+            self._log(f"em selected category {winner}")
+            if iterative and _round + 1 < k:
+                candidates = noise_all()
+        return winners if k > 1 else winners[0]
+
+    def _argmax_tree(
+        self, candidates: List[Tuple[object, Secret, Committee]], fanout: int
+    ) -> int:
+        """Tournament of committees; each compares ``fanout`` candidates.
+
+        A candidate is (index, noised score, home committee). At the leaves
+        the index is a public category id; above the first level it is a
+        Secret share, so the winner stays hidden until the root committee
+        declassifies it (Fig 5). Values move between committees via VSR.
+        """
+        level = 0
+        while len(candidates) > 1:
+            next_level: List[Tuple[object, Secret, Committee]] = []
+            for start in range(0, len(candidates), fanout):
+                group = candidates[start : start + fanout]
+                if len(group) == 1:
+                    next_level.append(group[0])
+                    continue
+                committee = self._allocate(f"argmax[l{level}.{start}]")
+                moved: List[Tuple[Secret, Secret]] = []
+                for index, secret, home in group:
+                    if isinstance(index, Secret):
+                        idx_sv, val_sv = home.send_via_vsr(
+                            [index.value, secret.value], committee
+                        )
+                        moved.append((Secret(idx_sv), Secret(val_sv)))
+                    else:
+                        val_sv = home.send_via_vsr([secret.value], committee)[0]
+                        moved.append(
+                            (Secret(committee.engine.constant(index)), Secret(val_sv))
+                        )
+                best_index, best_value = moved[0]
+                for index_s, value_s in moved[1:]:
+                    greater = committee.engine.greater_than(
+                        value_s.value, best_value.value
+                    )
+                    best_value = Secret(
+                        committee.engine.select(greater, value_s.value, best_value.value)
+                    )
+                    best_index = Secret(
+                        committee.engine.select(greater, index_s.value, best_index.value)
+                    )
+                next_level.append((best_index, best_value, committee))
+            candidates = next_level
+            level += 1
+        index, _value, committee = candidates[0]
+        if isinstance(index, Secret):
+            return committee.engine.open(index.value)
+        return index
+
+    def _run_laplace(
+        self, ops_committee: Committee, value: Secret, scale: float
+    ) -> float:
+        committee = self._allocate("laplace")
+        moved = ops_committee.send_via_vsr([value.value], committee)[0]
+        scaled = committee.engine.mul_public(moved, FIXPOINT_SCALE)
+        noise = shared_laplace_noise(committee.engine, scale, self.rng)
+        noised = committee.engine.add(scaled, noise)
+        result = committee.engine.open(noised)
+        self._log("laplace release")
+        return result / FIXPOINT_SCALE

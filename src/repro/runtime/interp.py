@@ -1,0 +1,359 @@
+"""Secure program interpreter: runs post-aggregate statements over shares.
+
+After the decryption committees turn the homomorphic aggregate into MPC
+sharings, the rest of the query program — transforms, the exponential
+mechanism, Laplace noising, declassification — executes over secret
+values inside committees. This interpreter walks the original AST; scalar
+arithmetic maps to MPC engine operations, and the DP mechanisms are
+*hooks* the executor provides, because they span multiple committees
+(noising batches, the argmax tree) with VSR hand-offs in between.
+
+Supported secret operations: +, -, multiplication by public integers,
+comparisons, ``abs``, ``max``/``argmax``, ``sum``, ``clip``, array reads
+and writes with public indices, ``for`` loops with public bounds, and
+``if`` over *public* conditions. Branching on a secret condition is
+rejected — the surface queries never need it, because ``em``/``max``/
+``abs`` cover the oblivious cases (Fig 4's secret branches live inside
+operator instantiations, which the executor runs natively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from ..lang.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    IntLit,
+    Stmt,
+    UnOp,
+    Var,
+)
+from ..mpc.engine import MPCEngine, SecretValue
+
+
+class InterpreterError(Exception):
+    """Raised for programs outside the supported secure subset."""
+
+
+@dataclass
+class Secret:
+    """A secret integer living in some committee's MPC engine."""
+
+    value: SecretValue
+
+
+Value = Union[int, float, bool, list, Secret]
+
+
+@dataclass
+class MechanismHooks:
+    """Executor-provided implementations of the DP release points.
+
+    ``em(scores, k)`` gets a list of Secret scores and returns public
+    indices; ``laplace(value, scale)`` gets a Secret (or public) value and
+    returns the public noised result. Both are multi-committee protocols.
+    """
+
+    em: Callable[[List[Secret], int], Union[int, List[int]]]
+    laplace: Callable[[Secret, float], float]
+
+
+class SecureInterpreter:
+    """Executes statements with secret bindings inside one committee chain."""
+
+    def __init__(
+        self,
+        engine: MPCEngine,
+        hooks: MechanismHooks,
+        bindings: Optional[Dict[str, Value]] = None,
+    ):
+        self.engine = engine
+        self.hooks = hooks
+        self.bindings: Dict[str, Value] = dict(bindings or {})
+        self.outputs: List[Value] = []
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, statements: List[Stmt]) -> List[Value]:
+        for stmt in statements:
+            self._exec(stmt)
+        return self.outputs
+
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.bindings[stmt.var] = self._eval(stmt.value)
+        elif isinstance(stmt, IndexAssign):
+            index = self._eval(stmt.index)
+            if isinstance(index, Secret):
+                raise InterpreterError("array stores need public indices")
+            target = self.bindings.setdefault(stmt.var, [])
+            if not isinstance(target, list):
+                raise InterpreterError(f"{stmt.var!r} is not an array")
+            index = int(index)
+            while len(target) <= index:
+                target.append(0)
+            target[index] = self._eval(stmt.value)
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr)
+        elif isinstance(stmt, For):
+            start = self._require_public(self._eval(stmt.start), "loop bound")
+            end = self._require_public(self._eval(stmt.end), "loop bound")
+            for i in range(int(start), int(end) + 1):
+                self.bindings[stmt.var] = i
+                for inner in stmt.body:
+                    self._exec(inner)
+        elif isinstance(stmt, If):
+            cond = self._eval(stmt.cond)
+            if isinstance(cond, Secret):
+                raise InterpreterError(
+                    "branching on a secret condition is not supported; use "
+                    "abs/max/em which execute obliviously"
+                )
+            body = stmt.then_body if cond else stmt.else_body
+            for inner in body:
+                self._exec(inner)
+        else:
+            raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------ evaluation
+
+    def _require_public(self, value: Value, what: str) -> Union[int, float]:
+        if isinstance(value, Secret):
+            raise InterpreterError(f"{what} must be public")
+        if isinstance(value, list):
+            raise InterpreterError(f"{what} must be scalar")
+        return value
+
+    def _as_secret(self, value: Value) -> Secret:
+        if isinstance(value, Secret):
+            return value
+        if isinstance(value, bool):
+            return Secret(self.engine.constant(int(value)))
+        if isinstance(value, int):
+            return Secret(self.engine.constant(value))
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise InterpreterError(
+                    "secure arithmetic carries integers; scale fractional "
+                    "constants into the query instead"
+                )
+            return Secret(self.engine.constant(int(value)))
+        raise InterpreterError(f"cannot share value of type {type(value).__name__}")
+
+    def _eval(self, expr: Expr) -> Value:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in self.bindings:
+                raise InterpreterError(f"undefined variable {expr.name!r}")
+            return self.bindings[expr.name]
+        if isinstance(expr, Index):
+            base = self._eval(expr.base)
+            index = self._eval(expr.index)
+            if isinstance(index, Secret):
+                raise InterpreterError("array reads need public indices")
+            if not isinstance(base, list):
+                raise InterpreterError("indexing a non-array value")
+            return base[int(index)]
+        if isinstance(expr, UnOp):
+            return self._eval_unop(expr)
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, Call):
+            return self._eval_call(expr)
+        raise InterpreterError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_unop(self, expr: UnOp) -> Value:
+        operand = self._eval(expr.operand)
+        if expr.op == "-":
+            if isinstance(operand, Secret):
+                return Secret(self.engine.mul_public(operand.value, -1))
+            return -operand
+        if expr.op == "!":
+            if isinstance(operand, Secret):
+                return Secret(
+                    self.engine.sub(self.engine.constant(1), operand.value)
+                )
+            return not operand
+        raise InterpreterError(f"unsupported unary operator {expr.op!r}")
+
+    def _eval_binop(self, expr: BinOp) -> Value:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        secret = isinstance(left, Secret) or isinstance(right, Secret)
+        if not secret:
+            return self._public_binop(expr.op, left, right)
+        op = expr.op
+        if op == "+":
+            return Secret(
+                self.engine.add(self._as_secret(left).value, self._as_secret(right).value)
+            )
+        if op == "-":
+            return Secret(
+                self.engine.sub(self._as_secret(left).value, self._as_secret(right).value)
+            )
+        if op == "*":
+            if isinstance(left, Secret) and isinstance(right, Secret):
+                return Secret(self.engine.mul(left.value, right.value))
+            secret_side, public_side = (
+                (left, right) if isinstance(left, Secret) else (right, left)
+            )
+            factor = self._require_public(public_side, "multiplier")
+            if isinstance(factor, float) and not factor.is_integer():
+                raise InterpreterError(
+                    "secret values can only be scaled by integers in MPC"
+                )
+            return Secret(self.engine.mul_public(secret_side.value, int(factor)))
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            a = self._as_secret(left).value
+            b = self._as_secret(right).value
+            if op == "<":
+                return Secret(self.engine.less_than(a, b))
+            if op == ">":
+                return Secret(self.engine.less_than(b, a))
+            if op == "<=":
+                gt = self.engine.less_than(b, a)
+                return Secret(self.engine.sub(self.engine.constant(1), gt))
+            if op == ">=":
+                lt = self.engine.less_than(a, b)
+                return Secret(self.engine.sub(self.engine.constant(1), lt))
+            lt = self.engine.less_than(a, b)
+            gt = self.engine.less_than(b, a)
+            either = self.engine.add(lt, gt)
+            if op == "!=":
+                return Secret(either)
+            return Secret(self.engine.sub(self.engine.constant(1), either))
+        if op in ("&&", "||"):
+            a = self._as_secret(left).value
+            b = self._as_secret(right).value
+            both = self.engine.mul(a, b)
+            if op == "&&":
+                return Secret(both)
+            total = self.engine.add(a, b)
+            return Secret(self.engine.sub(total, both))
+        raise InterpreterError(f"unsupported secret operator {op!r}")
+
+    def _public_binop(self, op: str, left: Value, right: Value) -> Value:
+        table = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "&&": lambda a, b: bool(a) and bool(b),
+            "||": lambda a, b: bool(a) or bool(b),
+        }
+        if op not in table:
+            raise InterpreterError(f"unsupported operator {op!r}")
+        return table[op](left, right)
+
+    # --------------------------------------------------------------- builtins
+
+    def _secret_list(self, value: Value, what: str) -> List[Secret]:
+        if not isinstance(value, list):
+            raise InterpreterError(f"{what} needs an array argument")
+        return [self._as_secret(v) for v in value]
+
+    def _eval_call(self, expr: Call) -> Value:
+        func = expr.func
+        args = [self._eval(a) for a in expr.args]
+        if func == "em":
+            scores = self._secret_list(args[0], "em")
+            k = int(self._require_public(args[1], "k")) if len(args) == 2 else 1
+            return self.hooks.em(scores, k)
+        if func == "laplace":
+            scale = self._require_public(args[1], "laplace scale")
+            if isinstance(args[0], list):
+                # Vector Laplace: independent noise per element; the joint
+                # release is certified against the vector's L1 sensitivity.
+                return [
+                    self.hooks.laplace(self._as_secret(v), float(scale))
+                    for v in args[0]
+                ]
+            return self.hooks.laplace(self._as_secret(args[0]), float(scale))
+        if func == "output":
+            self.outputs.append(args[0])
+            return args[0]
+        if func == "declassify":
+            if isinstance(args[0], Secret):
+                return self.engine.open(args[0].value)
+            return args[0]
+        if func == "sum":
+            values = args[0]
+            if not isinstance(values, list):
+                raise InterpreterError("sum needs an array argument")
+            if any(isinstance(v, Secret) for v in values):
+                secrets = [self._as_secret(v).value for v in values]
+                return Secret(self.engine.sum_values(secrets))
+            return sum(values)
+        if func == "len":
+            if not isinstance(args[0], list):
+                raise InterpreterError("len needs an array argument")
+            return len(args[0])
+        if func == "abs":
+            if isinstance(args[0], Secret):
+                sv = args[0].value
+                negative = self.engine.less_than(sv, self.engine.constant(0))
+                negated = self.engine.mul_public(sv, -1)
+                return Secret(self.engine.select(negative, negated, sv))
+            return abs(args[0])
+        if func == "max":
+            if isinstance(args[0], list) and any(
+                isinstance(v, Secret) for v in args[0]
+            ):
+                secrets = [self._as_secret(v).value for v in args[0]]
+                return Secret(self.engine.maximum(secrets))
+            if isinstance(args[0], list):
+                return max(args[0])
+            return max(args)
+        if func == "argmax":
+            if isinstance(args[0], list) and any(
+                isinstance(v, Secret) for v in args[0]
+            ):
+                secrets = [self._as_secret(v).value for v in args[0]]
+                return Secret(self.engine.argmax(secrets))
+            values = args[0]
+            return max(range(len(values)), key=values.__getitem__)
+        if func == "clip":
+            lo = self._require_public(args[1], "clip bound")
+            hi = self._require_public(args[2], "clip bound")
+            if isinstance(args[0], Secret):
+                sv = args[0].value
+                lo_c = self.engine.constant(int(lo))
+                hi_c = self.engine.constant(int(hi))
+                below = self.engine.less_than(sv, lo_c)
+                sv = self.engine.select(below, lo_c, sv)
+                above = self.engine.less_than(hi_c, sv)
+                return Secret(self.engine.select(above, hi_c, sv))
+            return min(max(args[0], lo), hi)
+        if func in ("exp", "log", "sqrt"):
+            value = args[0]
+            if isinstance(value, Secret):
+                raise InterpreterError(
+                    f"{func} over secrets requires the FHE instantiation; the "
+                    f"runtime executes the equivalent Gumbel form instead"
+                )
+            import math
+
+            return getattr(math, func)(value)
+        raise InterpreterError(f"unsupported builtin {func!r}")

@@ -1,0 +1,113 @@
+"""The simulated federated deployment: devices and sortition state (§5.1).
+
+The runtime executes chosen plans end-to-end at small scale with real
+cryptography (Paillier AHE, Shamir MPC, VSR, ZKPs, Merkle audits), which is
+how we validate plans *functionally*; deployment-scale numbers come from
+the cost model, exactly as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.sortition import (
+    CommitteeAssignment,
+    SortitionState,
+    compute_ticket,
+    run_sortition,
+)
+
+
+@dataclass
+class Device:
+    """One participant device.
+
+    ``value`` is the device's raw datum: a category index for one-hot
+    queries, or a numeric vector for bounded queries. ``malicious`` devices
+    submit malformed uploads (exercising the ZKP rejection path);
+    ``online`` models churn — offline devices cannot serve on committees
+    (§5.1 tolerates up to a fraction g of each committee going offline).
+    """
+
+    device_id: int
+    secret: bytes
+    value: object = None
+    malicious: bool = False
+    online: bool = True
+
+
+class FederatedNetwork:
+    """A population of devices plus the public sortition state."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        rng: Optional[random.Random] = None,
+        malicious_fraction: float = 0.0,
+    ):
+        if num_devices < 4:
+            raise ValueError("a federated deployment needs at least 4 devices")
+        self.rng = rng or random.Random()
+        self.devices: List[Device] = []
+        for device_id in range(1, num_devices + 1):
+            secret = self.rng.getrandbits(128).to_bytes(16, "big")
+            malicious = self.rng.random() < malicious_fraction
+            self.devices.append(Device(device_id, secret, malicious=malicious))
+        seed = self.rng.getrandbits(256).to_bytes(32, "big")
+        self.sortition = SortitionState.initial(
+            [d.device_id for d in self.devices], seed
+        )
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    @property
+    def device_ids(self) -> List[int]:
+        return [d.device_id for d in self.devices]
+
+    def device(self, device_id: int) -> Device:
+        return self.devices[device_id - 1]
+
+    def load_categorical_data(self, categories: int, distribution: Sequence[float] = None) -> None:
+        """Assign each device a category, optionally with a skewed distribution."""
+        if distribution is not None:
+            if len(distribution) != categories:
+                raise ValueError("distribution length must equal category count")
+            population = list(range(categories))
+            for d in self.devices:
+                d.value = self.rng.choices(population, weights=distribution, k=1)[0]
+        else:
+            for d in self.devices:
+                d.value = self.rng.randrange(categories)
+
+    def load_numeric_data(self, low: int, high: int, width: int = 1) -> None:
+        """Assign each device a bounded numeric vector."""
+        for d in self.devices:
+            row = [self.rng.randint(low, high) for _ in range(width)]
+            d.value = row if width > 1 else row[0]
+
+    def take_offline(self, device_ids: Sequence[int]) -> None:
+        """Churn hook: the listed devices stop responding."""
+        for device_id in device_ids:
+            self.device(device_id).online = False
+
+    def online_members(self, members: Sequence[int]) -> List[int]:
+        return [m for m in members if self.device(m).online]
+
+    def select_committees(
+        self, num_committees: int, committee_size: int
+    ) -> CommitteeAssignment:
+        """Run one sortition round over the current public block (§5.1)."""
+        tickets = [
+            compute_ticket(
+                d.device_id, d.secret, self.sortition.block, self.sortition.round_number
+            )
+            for d in self.devices
+        ]
+        return run_sortition(tickets, num_committees, committee_size)
+
+    def advance_round(self, new_block: bytes) -> None:
+        """Move sortition state forward with the committee-generated block."""
+        self.sortition = self.sortition.advance(new_block, self.device_ids)

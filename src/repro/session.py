@@ -1,0 +1,190 @@
+"""Analytics sessions: many queries against one deployment.
+
+Arboretum is built for repeated use — the sortition block chains from
+query to query (§5.1), the authorization certificate carries the remaining
+privacy budget forward (§5.2), and the planner's cost model is shared.
+:class:`AnalyticsSession` packages that lifecycle: it owns the accountant,
+the (simulated) network, and a planner per environment, and exposes one
+call per query.
+
+    session = AnalyticsSession(network, epsilon_budget=4.0)
+    winner = session.ask("aggr = sum(db); output(em(aggr));", categories=8)
+    count = session.ask(COUNT_QUERY, categories=8)
+    session.remaining_epsilon()   # what's left
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .analysis.types import QueryEnvironment
+from .planner.costmodel import Constraints, CostModel, Goal
+from .planner.search import Planner, PlanningResult
+from .privacy.accountant import PrivacyAccountant
+from .runtime.executor import QueryExecutor, QueryResult
+from .runtime.network import FederatedNetwork
+
+
+@dataclass
+class SessionRecord:
+    """One answered (or refused) query in the session's history."""
+
+    name: str
+    epsilon: float
+    planning: PlanningResult
+    result: Optional[QueryResult]
+
+
+class AnalyticsSession:
+    """A stateful, budget-enforcing interface over one deployment."""
+
+    def __init__(
+        self,
+        network: FederatedNetwork,
+        epsilon_budget: float,
+        delta_budget: float = 1e-6,
+        epsilon_per_query: float = 1.0,
+        sensitivity: float = 1.0,
+        committee_size: int = 4,
+        key_prime_bits: int = 96,
+        constraints: Optional[Constraints] = None,
+        goal: Optional[Goal] = None,
+        model: Optional[CostModel] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.network = network
+        self.accountant = PrivacyAccountant(epsilon_budget, delta_budget)
+        self.epsilon_per_query = epsilon_per_query
+        self.sensitivity = sensitivity
+        self.committee_size = committee_size
+        self.key_prime_bits = key_prime_bits
+        self.constraints = constraints
+        self.goal = goal
+        self.model = model
+        self.rng = rng or random.Random()
+        self.history: List[SessionRecord] = []
+        self._planners: Dict[tuple, Planner] = {}
+
+    # ------------------------------------------------------------- planning
+
+    def _environment(
+        self,
+        categories: int,
+        epsilon: Optional[float],
+        sensitivity: Optional[float],
+        row_encoding: str,
+        value_range: Optional[tuple] = None,
+    ) -> QueryEnvironment:
+        from .analysis.ranges import Interval
+        from .analysis.types import ValueType
+
+        element = None
+        if value_range is not None:
+            element = ValueType("int", Interval(float(value_range[0]), float(value_range[1])))
+        return QueryEnvironment(
+            num_participants=len(self.network),
+            row_width=categories,
+            db_element=element,
+            epsilon=epsilon if epsilon is not None else self.epsilon_per_query,
+            sensitivity=sensitivity if sensitivity is not None else self.sensitivity,
+            row_encoding=row_encoding,
+        )
+
+    def _planner(self, env: QueryEnvironment) -> Planner:
+        key = (
+            env.row_width,
+            env.epsilon,
+            env.sensitivity,
+            env.row_encoding,
+            env.db_element.interval.lo,
+            env.db_element.interval.hi,
+        )
+        if key not in self._planners:
+            self._planners[key] = Planner(
+                env,
+                model=self.model,
+                constraints=self.constraints,
+                goal=self.goal,
+            )
+        return self._planners[key]
+
+    def plan(
+        self,
+        source: str,
+        categories: int,
+        name: str = "query",
+        epsilon: Optional[float] = None,
+        sensitivity: Optional[float] = None,
+        row_encoding: str = "one_hot",
+        value_range: Optional[tuple] = None,
+    ) -> PlanningResult:
+        """Certify and plan without executing (no budget is spent)."""
+        env = self._environment(
+            categories, epsilon, sensitivity, row_encoding, value_range
+        )
+        return self._planner(env).plan_source(source, name)
+
+    # ------------------------------------------------------------ execution
+
+    def ask(
+        self,
+        source: str,
+        categories: int,
+        name: str = "query",
+        epsilon: Optional[float] = None,
+        sensitivity: Optional[float] = None,
+        row_encoding: str = "one_hot",
+        value_range: Optional[tuple] = None,
+    ) -> QueryResult:
+        """Plan, budget-check, and execute one query.
+
+        Raises :class:`repro.runtime.executor.QueryRejected` when the
+        key-generation committee refuses (budget exhausted); a refused
+        query spends nothing and is recorded with ``result=None``.
+        """
+        from .runtime.executor import QueryRejected
+
+        planning = self.plan(
+            source, categories, name, epsilon, sensitivity, row_encoding, value_range
+        )
+        executor = QueryExecutor(
+            self.network,
+            planning,
+            committee_size=self.committee_size,
+            key_prime_bits=self.key_prime_bits,
+            rng=self.rng,
+            accountant=self.accountant,
+        )
+        try:
+            result = executor.run()
+        except QueryRejected:
+            self.history.append(
+                SessionRecord(name, planning.certificate.epsilon, planning, None)
+            )
+            raise
+        self.history.append(
+            SessionRecord(name, planning.certificate.epsilon, planning, result)
+        )
+        return result
+
+    # ------------------------------------------------------------ inspection
+
+    def remaining_epsilon(self) -> float:
+        return self.accountant.remaining().epsilon
+
+    def spent_epsilon(self) -> float:
+        return self.accountant.spent.epsilon
+
+    def can_afford(self, source: str, categories: int, **kwargs) -> bool:
+        """Would the keygen committee authorize this query right now?"""
+        from .privacy.accountant import PrivacyCost
+
+        planning = self.plan(source, categories, **kwargs)
+        cost = PrivacyCost(planning.certificate.epsilon, planning.certificate.delta)
+        return self.accountant.can_afford(cost)
+
+    @property
+    def queries_answered(self) -> int:
+        return sum(1 for record in self.history if record.result is not None)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.analysis.ranges import Interval
+from repro.analysis.types import QueryEnvironment, ValueType
+from repro.crypto.field import MERSENNE_61, MERSENNE_127, PrimeField
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_field():
+    return PrimeField(MERSENNE_61)
+
+
+@pytest.fixture
+def field():
+    return PrimeField(MERSENNE_127)
+
+
+def small_env(
+    num_participants=48,
+    categories=8,
+    epsilon=1.0,
+    sensitivity=1.0,
+    row_encoding="one_hot",
+):
+    """A deployment environment small enough for functional execution."""
+    return QueryEnvironment(
+        num_participants=num_participants,
+        row_width=categories,
+        db_element=ValueType("int", Interval(0.0, 1.0)),
+        epsilon=epsilon,
+        sensitivity=sensitivity,
+        row_encoding=row_encoding,
+    )
+
+
+@pytest.fixture
+def env():
+    return small_env()

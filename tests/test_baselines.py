@@ -1,0 +1,127 @@
+"""Tests for the baseline systems (Table 1, §7.1)."""
+
+import pytest
+
+from repro.baselines.bohler import (
+    ANCHOR_TRAFFIC_BYTES,
+    bohler_member_traffic,
+    is_practical,
+)
+from repro.baselines.honeycrisp import honeycrisp_score, supports
+from repro.baselines.orchard import (
+    BaselineUnsupported,
+    ORCHARD_EM_CATEGORY_LIMIT,
+    orchard_score,
+)
+from repro.baselines.strawmen import (
+    all_to_all_mpc,
+    fhe_only,
+    gate_count_fhe_only,
+)
+from repro.queries.catalog import get
+
+
+class TestBohler:
+    def test_anchor_point(self):
+        """[14, §E]: m=10, N=10^6 -> 1.41 GB per member."""
+        estimate = bohler_member_traffic(10**6, committee_size=10)
+        assert estimate.member_traffic_bytes == pytest.approx(ANCHOR_TRAFFIC_BYTES)
+
+    def test_paper_extrapolation(self):
+        """§7.1: m=40 and N=1.3e9 -> more than 7.3 TB of traffic."""
+        estimate = bohler_member_traffic(int(1.3e9), committee_size=40)
+        assert estimate.member_traffic_tb > 7.3
+
+    def test_impractical_at_scale(self):
+        estimate = bohler_member_traffic(10**9, committee_size=40)
+        assert not is_practical(estimate)
+
+    def test_practical_at_original_scale(self):
+        estimate = bohler_member_traffic(10**6, committee_size=10)
+        assert is_practical(estimate)
+
+
+class TestStrawmen:
+    def test_fhe_only_takes_years(self):
+        estimate = fhe_only()
+        assert estimate.aggregator_core_years > 1.0
+
+    def test_fhe_gate_count_tens_of_trillions(self):
+        """§3.2: 'a 40-trillion-gate circuit'."""
+        gates = gate_count_fhe_only()
+        assert 1e13   < gates < 1e14
+
+    def test_all_to_all_bandwidth_is_petabyte_scale(self):
+        estimate = all_to_all_mpc()
+        assert estimate.participant_bytes_typical >= 1e12  # TBs per device
+
+
+class TestOrchard:
+    def test_em_category_limit(self):
+        env = get("top1").environment(10**9)
+        with pytest.raises(BaselineUnsupported):
+            orchard_score(env, released_values=env.row_width, uses_em=True)
+
+    def test_small_em_supported(self):
+        spec = get("top1")
+        env = spec.environment(10**9, categories=ORCHARD_EM_CATEGORY_LIMIT)
+        score = orchard_score(env, released_values=env.row_width, uses_em=True)
+        assert score.cost.participant_max_seconds > 0
+
+    def test_single_committee(self):
+        env = get("bayes").environment(10**9)
+        score = orchard_score(env, released_values=115)
+        assert score.committee_params.num_committees == 1
+
+    def test_committee_cost_grows_with_releases(self):
+        env = get("bayes").environment(10**9)
+        few = orchard_score(env, released_values=10)
+        many = orchard_score(env, released_values=1000)
+        assert (
+            many.cost.participant_max_seconds > few.cost.participant_max_seconds
+        )
+
+
+class TestHoneycrisp:
+    def test_supports_only_cms(self):
+        assert supports("cms")
+        assert not supports("top1")
+
+    def test_score_matches_orchard_shape(self):
+        env = get("cms").environment(10**9)
+        hc = honeycrisp_score(env)
+        orch = orchard_score(env, released_values=1)
+        assert hc.cost.participant_expected_seconds == pytest.approx(
+            orch.cost.participant_expected_seconds
+        )
+
+
+class TestComparisons:
+    def test_arboretum_matches_orchard_in_expectation(self):
+        """§7.2: for legacy queries, Arboretum's expected participant costs
+        are almost identical to the original systems'."""
+        from repro.eval.experiments import plan_paper_query
+
+        spec = get("bayes")
+        arboretum = plan_paper_query(spec, use_cache=False)
+        orchard = orchard_score(spec.environment(), released_values=spec.categories)
+        ratio = (
+            arboretum.plan.cost.participant_expected_seconds
+            / orchard.cost.participant_expected_seconds
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_arboretum_beats_orchard_on_committee_max(self):
+        """§7.2: per-committee costs are much lower with many committees."""
+        from repro.eval.experiments import plan_paper_query
+
+        spec = get("bayes")
+        arboretum = plan_paper_query(spec, use_cache=False)
+        orchard = orchard_score(spec.environment(), released_values=spec.categories)
+        arb_ops = max(
+            (c.seconds for c in arboretum.plan.score.committee_breakdown
+             if c.committee_type == "operations"),
+            default=0.0,
+        )
+        orch_max = max(c.seconds for c in orchard.committee_breakdown)
+        assert arb_ops < orch_max

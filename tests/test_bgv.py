@@ -1,0 +1,138 @@
+"""Tests for the BGV FHE model."""
+
+import random
+
+import pytest
+
+from repro.crypto import bgv
+
+
+def make_key(plaintext_modulus=1 << 30, ring_log2=15, modulus_bits=135, seed=3):
+    params = bgv.BGVParams(plaintext_modulus, ring_log2, modulus_bits)
+    return bgv.keygen(params, random.Random(seed))
+
+
+class TestParams:
+    def test_paper_typical_parameters(self):
+        """§6: plaintext modulus 2^30, 135-bit ciphertext modulus, degree 2^15."""
+        params = bgv.BGVParams()
+        assert params.plaintext_modulus == 1 << 30
+        assert params.slots == 2**15
+        assert params.ciphertext_bytes == 2 * 2**15 * 17  # ~1.1 MB
+        assert 1.0e6 < params.ciphertext_bytes < 1.2e6
+
+    def test_security_table_enforced(self):
+        with pytest.raises(ValueError):
+            bgv.BGVParams(ring_degree_log2=12, ciphertext_modulus_bits=135)
+
+    def test_min_ring_degree_monotone(self):
+        degrees = [bgv.min_ring_degree_log2(b) for b in (27, 54, 109, 218, 438)]
+        assert degrees == sorted(degrees)
+
+    def test_for_depth_scales_modulus(self):
+        base = bgv.BGVParams()
+        deeper = base.for_depth(5)
+        assert deeper.ciphertext_modulus_bits > base.for_depth(1).ciphertext_modulus_bits
+
+    def test_max_levels_positive_for_defaults(self):
+        assert bgv.BGVParams().max_levels >= 2
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [1, 2, 3])
+        assert bgv.decrypt(sk, ct, count=3) == [1, 2, 3]
+
+    def test_zero_padding(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [7])
+        values = bgv.decrypt(sk, ct)
+        assert values[0] == 7
+        assert all(v == 0 for v in values[1:])
+
+    def test_too_many_values_rejected(self):
+        sk = make_key(ring_log2=12, modulus_bits=109)
+        with pytest.raises(ValueError):
+            bgv.encrypt(sk.public, [0] * (2**12 + 1))
+
+    def test_wrong_key_rejected(self):
+        sk1 = make_key(seed=1)
+        sk2 = make_key(seed=2)
+        ct = bgv.encrypt(sk1.public, [1])
+        with pytest.raises(ValueError):
+            bgv.decrypt(sk2, ct)
+
+
+class TestHomomorphicOps:
+    def test_add_sub(self):
+        sk = make_key()
+        a = bgv.encrypt(sk.public, [10, 20])
+        b = bgv.encrypt(sk.public, [1, 2])
+        assert bgv.decrypt(sk, bgv.add(a, b), 2) == [11, 22]
+        assert bgv.decrypt(sk, bgv.sub(a, b), 2) == [9, 18]
+
+    def test_multiply_consumes_level(self):
+        sk = make_key()
+        a = bgv.encrypt(sk.public, [3])
+        b = bgv.encrypt(sk.public, [4])
+        product = bgv.multiply(a, b)
+        assert product.level == 1
+        assert bgv.decrypt(sk, product, 1) == [12]
+
+    def test_noise_budget_exhaustion(self):
+        sk = make_key(plaintext_modulus=1 << 30, modulus_bits=135)
+        depth = sk.params.max_levels
+        ct = bgv.encrypt(sk.public, [1])
+        for _ in range(depth + 1):
+            ct = bgv.multiply(ct, ct)
+        with pytest.raises(bgv.NoiseBudgetExceeded):
+            bgv.decrypt(sk, ct)
+
+    def test_additions_do_not_consume_levels(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [1])
+        for _ in range(100):
+            ct = bgv.add(ct, ct)
+        assert ct.level == 0
+        assert bgv.decrypt(sk, ct, 1) == [2**100 % sk.params.plaintext_modulus]
+
+    def test_plaintext_ops(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [5, 6])
+        assert bgv.decrypt(sk, bgv.add_plain(ct, [1, 1]), 2) == [6, 7]
+        assert bgv.decrypt(sk, bgv.multiply_plain(ct, [2, 3]), 2) == [10, 18]
+
+    def test_rotation(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [1, 2, 3, 4])
+        rotated = bgv.rotate(ct, 1)
+        assert bgv.decrypt(sk, rotated, 3) == [2, 3, 4]
+
+    def test_total_sum_slots(self):
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [1, 2, 3, 4, 5])
+        summed = bgv.total_sum_slots(ct, 8)
+        assert bgv.decrypt(sk, summed, 1) == [15]
+
+    def test_mixed_keys_rejected(self):
+        sk1, sk2 = make_key(seed=5), make_key(seed=6)
+        a = bgv.encrypt(sk1.public, [1])
+        b = bgv.encrypt(sk2.public, [1])
+        with pytest.raises(ValueError):
+            bgv.add(a, b)
+
+    def test_sum_ciphertexts(self):
+        sk = make_key()
+        cts = [bgv.encrypt(sk.public, [i]) for i in range(5)]
+        assert bgv.decrypt(sk, bgv.sum_ciphertexts(cts), 1) == [10]
+
+
+class TestAggregationScenario:
+    def test_billion_scale_plaintext_modulus(self):
+        """Summing binary one-hot inputs from 10^9 users fits 2^30 slots."""
+        sk = make_key()
+        ct = bgv.encrypt(sk.public, [1])
+        # Simulate huge sums with plaintext multiplication.
+        big = bgv.multiply_plain(ct, [10**9])
+        assert bgv.decrypt(sk, big, 1) == [10**9]

@@ -1,0 +1,134 @@
+"""Tests for query authorization certificates (§5.2)."""
+
+import random
+
+import pytest
+
+from repro.planner.search import plan_query
+from repro.queries.catalog import get
+from repro.runtime.certificate import (
+    CertificateBody,
+    CertificateError,
+    issue_certificate,
+    plan_digest,
+    verify_certificate,
+)
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.network import FederatedNetwork
+
+
+def make_body(sequence=0, epsilon=1.0):
+    return CertificateBody(
+        query_sequence=sequence,
+        public_key_digest=b"\x01" * 32,
+        plan_digest=plan_digest("plan"),
+        epsilon_remaining=epsilon,
+        delta_remaining=1e-9,
+        registry_root=b"\x02" * 32,
+        next_block=b"\x03" * 32,
+    )
+
+
+def make_secrets(members):
+    rng = random.Random(0)
+    return {m: rng.getrandbits(128).to_bytes(16, "big") for m in members}
+
+
+class TestIssuance:
+    def test_all_members_sign(self):
+        members = [1, 2, 3, 4, 5]
+        secrets = make_secrets(members)
+        cert = issue_certificate(make_body(), members, secrets)
+        assert len(cert.signatures) == 5
+        verify_certificate(cert, secrets)
+
+    def test_quorum_suffices(self):
+        """Offline members do not block issuance; a majority suffices."""
+        members = [1, 2, 3, 4, 5]
+        secrets = make_secrets(members)
+        online = {m: secrets[m] for m in (1, 2, 3)}
+        cert = issue_certificate(make_body(), members, online)
+        assert len(cert.signatures) == 3
+        verify_certificate(cert, secrets)
+
+    def test_below_quorum_rejected(self):
+        members = [1, 2, 3, 4, 5]
+        secrets = make_secrets(members)
+        online = {m: secrets[m] for m in (1, 2)}
+        cert = issue_certificate(make_body(), members, online)
+        with pytest.raises(CertificateError):
+            verify_certificate(cert, secrets)
+
+
+class TestTampering:
+    def test_body_tampering_detected(self):
+        """A Byzantine aggregator cannot rewrite the budget balance."""
+        members = [1, 2, 3]
+        secrets = make_secrets(members)
+        cert = issue_certificate(make_body(epsilon=5.0), members, secrets)
+        from dataclasses import replace
+
+        forged = replace(
+            cert, body=replace(cert.body, epsilon_remaining=500.0)
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, secrets)
+
+    def test_registry_pinning_detected(self):
+        """Swapping the pinned device registry (the grinding attack of
+        §5.2) invalidates every signature."""
+        members = [1, 2, 3]
+        secrets = make_secrets(members)
+        cert = issue_certificate(make_body(), members, secrets)
+        from dataclasses import replace
+
+        forged = replace(
+            cert, body=replace(cert.body, registry_root=b"\xff" * 32)
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, secrets)
+
+    def test_nonmember_signature_rejected(self):
+        members = [1, 2, 3]
+        secrets = make_secrets(members + [9])
+        cert = issue_certificate(make_body(), members, secrets | {9: secrets[9]})
+        forged_sigs = dict(cert.signatures)
+        forged_sigs[9] = b"\x00" * 32
+        from dataclasses import replace
+
+        forged = replace(cert, signatures=forged_sigs)
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, secrets)
+
+    def test_bad_signature_rejected(self):
+        members = [1, 2, 3]
+        secrets = make_secrets(members)
+        cert = issue_certificate(make_body(), members, secrets)
+        forged_sigs = dict(cert.signatures)
+        forged_sigs[1] = b"\x00" * 32
+        from dataclasses import replace
+
+        forged = replace(cert, signatures=forged_sigs)
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, secrets)
+
+
+class TestEndToEnd:
+    def test_executor_attaches_certificate(self):
+        spec = get("top1")
+        env = spec.environment(40, categories=8, epsilon=8.0)
+        planning = plan_query(spec.source, env, name="top1")
+        net = FederatedNetwork(40, rng=random.Random(61))
+        net.load_categorical_data(8, distribution=[20, 1, 1, 1, 1, 1, 1, 1])
+        result = QueryExecutor(
+            net, planning, committee_size=4, key_prime_bits=96,
+            rng=random.Random(62),
+        ).run()
+        cert = result.authorization
+        assert cert is not None
+        assert len(cert.signatures) >= cert.quorum()
+        # Anyone holding the registry can re-verify the published artifact.
+        secrets = {m: net.device(m).secret for m in cert.committee}
+        verify_certificate(cert, secrets)
+        # The certificate pins the plan the committees will execute.
+        assert cert.body.plan_digest == plan_digest(planning.plan.describe())

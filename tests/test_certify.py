@@ -1,0 +1,273 @@
+"""Tests for differential-privacy certification (§4.2)."""
+
+import math
+
+import pytest
+
+from repro.privacy.certify import CertificationError, Sensitivity, certify
+from repro.privacy.sampling import amplified_epsilon
+from repro.lang.parser import parse
+from tests.conftest import small_env
+
+
+def cert(source, env=None):
+    return certify(parse(source), env or small_env())
+
+
+class TestRelease:
+    def test_em_certifies(self):
+        c = cert("aggr = sum(db); r = em(aggr); output(r);")
+        assert c.epsilon == pytest.approx(1.0)
+        assert len(c.mechanisms) == 1
+        assert c.mechanisms[0].mechanism == "em"
+
+    def test_laplace_certifies(self):
+        c = cert("aggr = sum(db); n = laplace(aggr[0], sens / epsilon); output(n);")
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_raw_output_rejected(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); output(aggr);")
+
+    def test_raw_element_output_rejected(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); output(aggr[0]);")
+
+    def test_declassify_of_raw_rejected(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); x = declassify(aggr[0]); output(x);")
+
+    def test_declassify_of_released_ok(self):
+        c = cert("aggr = sum(db); r = em(aggr); x = declassify(r); output(x);")
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_no_output_rejected(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); r = em(aggr);")
+
+    def test_public_output_free(self):
+        c = cert("aggr = sum(db); r = em(aggr); output(r); output(42);")
+        assert c.epsilon == pytest.approx(1.0)
+
+
+class TestPostprocessing:
+    def test_arithmetic_on_released_is_free(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            n = laplace(aggr[0], sens / epsilon);
+            scaled = n * 2 + 1;
+            output(scaled);
+            """
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_branching_on_released_is_free(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            n = laplace(aggr[0], sens / epsilon);
+            r = 0;
+            if n > 10 then r = 1; endif
+            output(r);
+            """
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_indexing_by_released_keeps_base_sensitive(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); w = em(aggr); output(aggr[w]);")
+
+
+class TestSensitivityTracking:
+    def test_one_hot_db_sensitivity(self):
+        c = cert("aggr = sum(db); r = em(aggr); output(r);")
+        sens = c.mechanisms[0].sensitivity
+        assert sens.linf == 1.0
+        assert sens.l1 == 2.0
+
+    def test_bounded_rows(self):
+        env = small_env(row_encoding="bounded")
+        c = certify(
+            parse("aggr = sum(db); n = laplace(aggr[0], 8 * sens / epsilon); output(n);"),
+            env,
+        )
+        # Element sensitivity 1, scale 8 -> epsilon 1/8.
+        assert c.epsilon == pytest.approx(1.0 / 8.0)
+
+    def test_scaling_by_constant(self):
+        c = cert(
+            "aggr = sum(db); x = aggr[0] * 3; n = laplace(x, 3 * sens / epsilon); output(n);"
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_sum_of_sensitive_pair(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            x = aggr[0] + aggr[1];
+            n = laplace(x, 2 * sens / epsilon);
+            output(n);
+            """
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_nonlinear_needs_clip(self):
+        with pytest.raises(CertificationError):
+            cert(
+                """
+                aggr = sum(db);
+                x = aggr[0] * aggr[1];
+                n = laplace(x, sens / epsilon);
+                output(n);
+                """
+            )
+
+    def test_abs_is_lipschitz(self):
+        c = cert(
+            "aggr = sum(db); x = abs(aggr[0] - 24); n = laplace(x, sens / epsilon); output(n);"
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_clip_restores_certifiability(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            x = clip(aggr[0] * aggr[1], 0, 1);
+            n = laplace(x, sens / epsilon);
+            output(n);
+            """
+        )
+        assert math.isfinite(c.epsilon)
+
+    def test_len_is_public(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            c = len(aggr);
+            x = aggr[0] * c;
+            n = laplace(x, 8 * sens / epsilon);
+            output(n);
+            """
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+
+class TestComposition:
+    def test_two_mechanisms_add(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            a = laplace(aggr[0], sens / epsilon);
+            b = laplace(aggr[1], sens / epsilon);
+            output(a); output(b);
+            """
+        )
+        assert c.epsilon == pytest.approx(2.0)
+
+    def test_mechanism_in_short_loop(self):
+        c = cert(
+            """
+            aggr = sum(db);
+            for i = 0 to 3 do
+              n[i] = laplace(aggr[i], sens / epsilon);
+            endfor
+            output(n[0]);
+            """
+        )
+        assert c.epsilon == pytest.approx(4.0)
+
+    def test_mechanism_in_long_loop_multiplied(self):
+        env = small_env(categories=128)
+        c = certify(
+            parse(
+                """
+                aggr = sum(db);
+                for i = 0 to 127 do
+                  n[i] = laplace(aggr[i], 128 * sens / epsilon);
+                endfor
+                output(n[0]);
+                """
+            ),
+            env,
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+    def test_topk_oneshot_sqrt_k(self):
+        c = cert("aggr = sum(db); r = em(aggr, 4); output(r[0]);")
+        assert c.epsilon == pytest.approx(2.0)  # sqrt(4) * 1.0
+
+
+class TestSamplingAmplification:
+    def test_amplified_epsilon_charged(self):
+        c = cert(
+            """
+            s = sampleUniform(db, 0.05);
+            aggr = sum(s);
+            r = em(aggr);
+            output(r);
+            """
+        )
+        assert c.epsilon == pytest.approx(amplified_epsilon(1.0, 0.05))
+        assert c.epsilon < 0.1
+
+    def test_full_sample_no_amplification(self):
+        c = cert(
+            """
+            s = sampleUniform(db, 1.0);
+            aggr = sum(s);
+            r = em(aggr);
+            output(r);
+            """
+        )
+        assert c.epsilon == pytest.approx(1.0)
+
+
+class TestImplicitFlows:
+    def test_branch_on_secret_taints_writes(self):
+        with pytest.raises(CertificationError):
+            cert(
+                """
+                aggr = sum(db);
+                x = 0;
+                if aggr[0] > 10 then x = 1; endif
+                output(x);
+                """
+            )
+
+    def test_branch_on_secret_then_mechanism_needs_clip(self):
+        # The tainted variable has unbounded sensitivity.
+        with pytest.raises(CertificationError):
+            cert(
+                """
+                aggr = sum(db);
+                x = 0;
+                if aggr[0] > 10 then x = 1; endif
+                n = laplace(x, sens / epsilon);
+                output(n);
+                """
+            )
+
+
+class TestScaleValidation:
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(CertificationError):
+            cert("aggr = sum(db); n = laplace(aggr[0], 0); output(n);")
+
+    def test_delta_accumulates(self):
+        c = cert("aggr = sum(db); r = em(aggr); output(r);")
+        assert 0 < c.delta < 1e-9
+
+
+class TestSensitivityAlgebra:
+    def test_scaled(self):
+        s = Sensitivity(2.0, 1.0).scaled(-3.0)
+        assert s == Sensitivity(6.0, 3.0)
+
+    def test_add_and_join(self):
+        a, b = Sensitivity(1.0, 1.0), Sensitivity(2.0, 0.5)
+        assert (a + b) == Sensitivity(3.0, 1.5)
+        assert a.join(b) == Sensitivity(2.0, 1.0)
+
+    def test_unbounded(self):
+        assert not Sensitivity.unbounded().is_finite()

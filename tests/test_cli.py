@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlanCommand:
+    def test_plan_builtin_query(self, capsys):
+        code = main(
+            ["plan", "cms", "--participants", "1000000", "--categories", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certified" in out
+        assert "vignette" in out
+        assert "cost report" in out
+
+    def test_plan_from_file(self, tmp_path, capsys):
+        query = tmp_path / "q.arb"
+        query.write_text("aggr = sum(db); output(em(aggr));")
+        code = main(
+            [
+                "plan",
+                str(query),
+                "--participants",
+                "1000000",
+                "--categories",
+                "16",
+                "--epsilon",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        assert "select_max" in capsys.readouterr().out
+
+    def test_plan_with_constraints(self, capsys):
+        code = main(
+            [
+                "plan",
+                "top1",
+                "--participants", "1000000",
+                "--categories", "64",
+                "--max-participant-minutes", "30",
+                "--max-participant-gb", "4",
+            ]
+        )
+        assert code == 0
+
+    def test_infeasible_returns_nonzero(self, capsys):
+        code = main(
+            [
+                "plan",
+                "top1",
+                "--participants", "1000000000",
+                "--max-aggregator-core-hours", "0.001",
+            ]
+        )
+        assert code == 1
+        assert "planning failed" in capsys.readouterr().err
+
+    def test_goal_option(self, capsys):
+        code = main(
+            [
+                "plan", "cms",
+                "--participants", "1000000",
+                "--categories", "1",
+                "--goal", "aggregator_bytes",
+            ]
+        )
+        assert code == 0
+
+
+class TestRunCommand:
+    def test_run_builtin(self, capsys):
+        code = main(
+            [
+                "run", "top1",
+                "--devices", "32",
+                "--categories", "4",
+                "--epsilon", "8.0",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "output(s):" in out
+        assert "em selected" in out
+
+
+class TestQueriesCommand:
+    def test_lists_all(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        for name in ("top1", "topK", "median", "k-medians"):
+            assert name in out
+
+
+class TestEvalCommand:
+    def test_table2(self, capsys):
+        assert main(["eval", "table2"]) == 0
+        assert "supported queries" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["eval", "fig99"]) == 1
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_prints_vignette_table(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "plan", "top1", "--explain",
+                "--participants", "1000000",
+                "--categories", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compute/inst" in out
+        assert "keygen" in out
+        assert "% of devices serve" in out

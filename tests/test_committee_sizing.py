@@ -1,0 +1,104 @@
+"""Tests for the §5.1 committee-sizing formula."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner.committees import (
+    CommitteeParameters,
+    committee_failure_probability,
+    minimum_committee_size,
+    per_round_failure_budget,
+)
+
+
+class TestFailureProbability:
+    def test_more_members_is_safer(self):
+        probabilities = [
+            committee_failure_probability(m, num_committees=10) for m in (10, 20, 40, 80)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_more_committees_is_riskier(self):
+        p1 = committee_failure_probability(30, num_committees=1)
+        p100 = committee_failure_probability(30, num_committees=100)
+        assert p100 > p1
+
+    def test_higher_malicious_fraction_is_riskier(self):
+        low = committee_failure_probability(30, 10, malicious_fraction=0.01)
+        high = committee_failure_probability(30, 10, malicious_fraction=0.10)
+        assert high > low
+
+    def test_churn_reduces_safety(self):
+        steady = committee_failure_probability(30, 10, churn_tolerance=0.0)
+        churny = committee_failure_probability(30, 10, churn_tolerance=0.3)
+        assert churny > steady
+
+    def test_probability_bounds(self):
+        p = committee_failure_probability(25, 1000)
+        assert 0.0 <= p <= 1.0
+
+
+class TestMinimumSize:
+    def test_paper_setting_gives_about_forty(self):
+        """§7.1: f=3%, g=0.15, 10^-8 over 1000 queries -> ~40 members."""
+        m = minimum_committee_size(115663)
+        assert 35 <= m <= 45
+
+    def test_single_committee_smaller(self):
+        assert minimum_committee_size(1) < minimum_committee_size(100000)
+
+    def test_monotone_in_committees(self):
+        sizes = [minimum_committee_size(c) for c in (1, 10, 1000, 100000)]
+        assert sizes == sorted(sizes)
+
+    def test_sizing_satisfies_budget(self):
+        c = 500
+        p1 = per_round_failure_budget(1e-8, 1000)
+        m = minimum_committee_size(c, per_round_budget=p1)
+        assert committee_failure_probability(m, c) <= p1
+        assert committee_failure_probability(m - 1, c) > p1  # minimal
+
+    def test_invalid_committee_count(self):
+        with pytest.raises(ValueError):
+            minimum_committee_size(0)
+
+
+class TestBudget:
+    def test_round_budget_composition(self):
+        p1 = per_round_failure_budget(1e-8, 1000)
+        total = 1 - (1 - p1) ** 1000
+        assert total == pytest.approx(1e-8, rel=1e-6)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            per_round_failure_budget(0.0, 100)
+        with pytest.raises(ValueError):
+            per_round_failure_budget(1e-8, 0)
+
+
+class TestParameters:
+    def test_for_plan(self):
+        params = CommitteeParameters.for_plan(100)
+        assert params.num_committees == 100
+        assert params.committee_size >= 20
+        assert params.devices_selected == 100 * params.committee_size
+
+    def test_selection_fraction(self):
+        params = CommitteeParameters.for_plan(1000)
+        frac = params.selection_fraction(10**9)
+        assert frac == pytest.approx(1000 * params.committee_size / 1e9)
+        assert params.selection_fraction(10) == 1.0
+
+    def test_honest_quorum(self):
+        params = CommitteeParameters.for_plan(10)
+        assert params.honest_quorum == math.ceil(0.85 * params.committee_size)
+
+
+@given(committees=st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_sizing_always_terminates_reasonably(committees):
+    m = minimum_committee_size(committees)
+    assert 3 <= m <= 100

@@ -1,0 +1,116 @@
+"""Tests for prime-field arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import (
+    DEFAULT_FIELD,
+    MERSENNE_61,
+    MERSENNE_127,
+    PrimeField,
+    is_probable_prime,
+    next_prime,
+    random_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 561, 7917):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that naive tests miss.
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(c)
+
+    def test_mersenne_constants_are_prime(self):
+        assert is_probable_prime(MERSENNE_61)
+        assert is_probable_prime(MERSENNE_127)
+
+    def test_next_prime(self):
+        assert next_prime(2) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert next_prime(90) == 97
+
+    def test_random_prime_has_requested_bits(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_prime(1, random.Random(0))
+
+
+class TestFieldOps:
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_add_sub_roundtrip(self):
+        f = PrimeField(97)
+        assert f.add(50, 60) == 13
+        assert f.sub(f.add(50, 60), 60) == 50
+
+    def test_inverse(self):
+        f = PrimeField(MERSENNE_61)
+        for x in (1, 2, 12345, MERSENNE_61 - 1):
+            assert f.mul(x, f.inv(x)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(97).inv(0)
+
+    def test_div(self):
+        f = PrimeField(97)
+        assert f.mul(f.div(10, 7), 7) == 10
+
+    def test_signed_encoding_roundtrip(self):
+        f = DEFAULT_FIELD
+        for x in (0, 1, -1, 12345, -98765, 2**60, -(2**60)):
+            assert f.decode_signed(f.encode_signed(x)) == x
+
+    def test_signed_encoding_overflow(self):
+        f = PrimeField(97)
+        with pytest.raises(OverflowError):
+            f.encode_signed(49)
+
+    def test_random_element_in_range(self):
+        f = PrimeField(97)
+        rng = random.Random(5)
+        for _ in range(100):
+            assert 0 <= f.random_element(rng) < 97
+        for _ in range(100):
+            assert 1 <= f.random_nonzero(rng) < 97
+
+
+@given(
+    a=st.integers(min_value=-(2**60), max_value=2**60),
+    b=st.integers(min_value=-(2**60), max_value=2**60),
+)
+@settings(max_examples=100)
+def test_signed_arithmetic_matches_integers(a, b):
+    """Field arithmetic on signed encodings agrees with plain integers."""
+    f = DEFAULT_FIELD
+    ea, eb = f.encode_signed(a), f.encode_signed(b)
+    assert f.decode_signed(f.add(ea, eb)) == a + b
+    assert f.decode_signed(f.sub(ea, eb)) == a - b
+    assert f.decode_signed(f.neg(ea)) == -a
+
+
+@given(x=st.integers(min_value=1, max_value=MERSENNE_61 - 1))
+@settings(max_examples=50)
+def test_inverse_property(x):
+    f = PrimeField(MERSENNE_61)
+    assert f.mul(x, f.inv(x)) == 1

@@ -1,0 +1,187 @@
+"""Full-pipeline integration tests: every catalog query runs end-to-end.
+
+Each test takes one Table 2 query through the complete Arboretum pipeline
+at small scale — parse, certify, lower, plan, then execute over a
+simulated network with real crypto — and checks the released answer
+against ground truth (allowing for the calibrated DP noise).
+"""
+
+import random
+
+import pytest
+
+from repro.planner.search import plan_query
+from repro.queries.catalog import get
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.network import FederatedNetwork
+from tests.conftest import small_env
+
+
+def execute(spec, env, network, seed=31):
+    planning = plan_query(spec.source, env, name=spec.name)
+    executor = QueryExecutor(
+        network,
+        planning,
+        committee_size=4,
+        key_prime_bits=96,
+        rng=random.Random(seed),
+    )
+    return executor.run()
+
+
+class TestTop1EndToEnd:
+    def test_answer(self):
+        spec = get("top1")
+        env = spec.environment(48, categories=8, epsilon=6.0)
+        net = FederatedNetwork(48, rng=random.Random(1))
+        net.load_categorical_data(8, distribution=[1, 25, 1, 1, 1, 1, 1, 1])
+        result = execute(spec, env, net)
+        assert result.value == 1
+
+
+class TestTopKEndToEnd:
+    def test_answer(self):
+        spec = get("topK")
+        env = spec.environment(60, categories=8, epsilon=8.0)
+        net = FederatedNetwork(60, rng=random.Random(2))
+        net.load_categorical_data(8, distribution=[30, 20, 12, 8, 1, 1, 1, 1])
+        result = execute(spec, env, net)
+        winners = result.outputs
+        assert len(winners) == 5
+        assert len(set(winners)) == 5
+        assert {0, 1} <= set(winners)  # the two dominant categories
+
+
+class TestGapEndToEnd:
+    def test_answer(self):
+        spec = get("gap")
+        env = spec.environment(60, categories=8, epsilon=8.0)
+        net = FederatedNetwork(60, rng=random.Random(3))
+        net.load_categorical_data(8, distribution=[40, 5, 1, 1, 1, 1, 1, 1])
+        result = execute(spec, env, net)
+        winner, gap = result.outputs
+        assert winner == 0
+        # True gap ~ count(0) - count(1); noise scale 2*sens/eps = 0.25.
+        counts = [0] * 8
+        for d in net.devices:
+            counts[d.value] += 1
+        true_gap = counts[0] - max(c for i, c in enumerate(counts) if i != 0)
+        assert abs(gap - true_gap) < 6.0
+
+
+class TestAuctionEndToEnd:
+    def test_answer(self):
+        spec = get("auction")
+        env = spec.environment(48, categories=8, epsilon=8.0)
+        # Auction sensitivity is the max price (=C); use high epsilon so
+        # the revenue-optimal price wins clearly.
+        net = FederatedNetwork(48, rng=random.Random(4))
+        # Everyone bids at price index 6 or above: revenue peaks near 6.
+        net.load_categorical_data(8, distribution=[1, 1, 1, 1, 1, 1, 30, 12])
+        result = execute(spec, env, net)
+        assert result.value in (6, 7)
+
+
+class TestHypotestEndToEnd:
+    def test_answer(self):
+        spec = get("hypotest")
+        env = spec.environment(48, categories=1, epsilon=8.0)
+        net = FederatedNetwork(48, rng=random.Random(5))
+        # Everyone reports success: count ~ 48 > N/2 -> reject.
+        net.load_categorical_data(1)
+        result = execute(spec, env, net)
+        reject, noisy = result.outputs
+        assert reject == 1
+        assert abs(noisy - 48) < 4.0
+
+
+class TestSecrecyEndToEnd:
+    def test_answer(self):
+        spec = get("secrecy")
+        env = spec.environment(64, categories=8, epsilon=8.0)
+        net = FederatedNetwork(64, rng=random.Random(6))
+        net.load_categorical_data(8, distribution=[50, 1, 1, 1, 1, 1, 1, 1])
+        result = execute(spec, env, net)
+        assert result.value == 0
+        assert any("sampled window" in e for e in result.events)
+
+
+class TestMedianEndToEnd:
+    def test_answer(self):
+        spec = get("median")
+        env = spec.environment(48, categories=8, epsilon=8.0)
+        net = FederatedNetwork(48, rng=random.Random(7))
+        net.load_categorical_data(8, distribution=[1, 1, 1, 24, 24, 1, 1, 1])
+        result = execute(spec, env, net)
+        assert result.value in (3, 4)
+
+
+class TestCmsEndToEnd:
+    def test_answer(self):
+        spec = get("cms")
+        env = spec.environment(48, categories=1, epsilon=8.0)
+        net = FederatedNetwork(48, rng=random.Random(8))
+        net.load_numeric_data(0, 1, width=1)
+        result = execute(spec, env, net)
+        truth = sum(
+            d.value if isinstance(d.value, int) else d.value[0]
+            for d in net.devices
+        )
+        assert abs(result.value - truth) < 4.0
+
+
+class TestBayesEndToEnd:
+    def test_answer(self):
+        spec = get("bayes")
+        env = spec.environment(48, categories=8, epsilon=16.0)
+        net = FederatedNetwork(48, rng=random.Random(9))
+        net.load_numeric_data(0, 1, width=8)
+        result = execute(spec, env, net)
+        assert len(result.outputs) == 8
+        truths = [sum(d.value[i] for d in net.devices) for i in range(8)]
+        for noisy, truth in zip(result.outputs, truths):
+            # Per-coordinate scale: c*sens/eps = 8/16 = 0.5.
+            assert abs(noisy - truth) < 8.0
+
+
+class TestKMediansEndToEnd:
+    def test_answer(self):
+        spec = get("k-medians")
+        env = spec.environment(60, categories=20, epsilon=40.0)
+        net = FederatedNetwork(60, rng=random.Random(10))
+        # Rows: one-hot assignment over 10 centers || coordinate sums.
+        rng = random.Random(11)
+        for d in net.devices:
+            center = rng.randrange(10)
+            row = [0] * 20
+            row[center] = 1
+            row[10 + center] = 1  # coordinate contribution in {0,1}
+            d.value = row
+        result = execute(spec, env, net)
+        assert len(result.outputs) == 10
+        for center in result.outputs:
+            assert -10.0 < center < 10.0
+
+
+class TestRepeatedQueriesAdvanceSortition:
+    def test_two_queries_different_committees(self):
+        spec = get("top1")
+        env = spec.environment(60, categories=8, epsilon=8.0)
+        net = FederatedNetwork(60, rng=random.Random(12))
+        net.load_categorical_data(8, distribution=[30, 1, 1, 1, 1, 1, 1, 1])
+        planning = plan_query(spec.source, env, name="top1")
+        first = QueryExecutor(
+            net, planning, committee_size=4, key_prime_bits=96,
+            rng=random.Random(13),
+        )
+        r1 = first.run()
+        second = QueryExecutor(
+            net, planning, committee_size=4, key_prime_bits=96,
+            rng=random.Random(14),
+        )
+        r2 = second.run()
+        assert r1.value == r2.value == 0
+        # Fresh randomness means fresh committees (w.h.p.).
+        keygen1 = next(e for e in r1.events if "keygen" in e)
+        keygen2 = next(e for e in r2.events if "keygen" in e)
+        assert keygen1 != keygen2

@@ -1,0 +1,197 @@
+"""Tests for the secure program interpreter."""
+
+import random
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.mpc.engine import MPCEngine
+from repro.runtime.interp import (
+    InterpreterError,
+    MechanismHooks,
+    Secret,
+    SecureInterpreter,
+)
+
+
+def make_interp(bindings=None, em=None, laplace=None, seed=1):
+    engine = MPCEngine(4, rng=random.Random(seed), bit_width=40)
+    hooks = MechanismHooks(
+        em=em or (lambda scores, k: 0),
+        laplace=laplace or (lambda value, scale: 0.0),
+    )
+    interp = SecureInterpreter(engine, hooks, bindings or {})
+    return engine, interp
+
+
+def run(source, bindings=None, **kwargs):
+    engine, interp = make_interp(bindings, **kwargs)
+    outputs = interp.execute(parse(source).statements)
+    return engine, interp, outputs
+
+
+def secrets(engine, values):
+    return [Secret(engine.input_value(v)) for v in values]
+
+
+class TestPublicEvaluation:
+    def test_arithmetic(self):
+        _e, interp, outputs = run("x = 2 + 3 * 4; output(x);")
+        assert outputs == [14]
+
+    def test_loop_and_arrays(self):
+        _e, interp, outputs = run(
+            "for i = 0 to 4 do a[i] = i * i; endfor output(a[4]);"
+        )
+        assert outputs == [16]
+
+    def test_public_branching(self):
+        _e, _i, outputs = run("x = 5; if x > 3 then y = 1; else y = 2; endif output(y);")
+        assert outputs == [1]
+
+    def test_builtin_math(self):
+        _e, _i, outputs = run("output(abs(0 - 7)); output(max(1, 9));")
+        assert outputs == [7, 9]
+
+
+class TestSecretEvaluation:
+    def test_secret_addition(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [10])[0]
+        interp.bindings["b"] = secrets(engine, [32])[0]
+        interp.execute(parse("c = a + b;").statements)
+        assert engine.open(interp.bindings["c"].value) == 42
+
+    def test_secret_public_mix(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [10])[0]
+        interp.execute(parse("c = a * 4 - 2;").statements)
+        assert engine.open(interp.bindings["c"].value) == 38
+
+    def test_secret_comparison_yields_secret_bit(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [3])[0]
+        interp.execute(parse("b = a < 10; c = a > 10; d = a == 3;").statements)
+        assert engine.open(interp.bindings["b"].value) == 1
+        assert engine.open(interp.bindings["c"].value) == 0
+        assert engine.open(interp.bindings["d"].value) == 1
+
+    def test_secret_abs(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [-9])[0]
+        interp.execute(parse("b = abs(a);").statements)
+        assert engine.open(interp.bindings["b"].value) == 9
+
+    def test_secret_clip(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [100])[0]
+        interp.bindings["b"] = secrets(engine, [-5])[0]
+        interp.execute(parse("ca = clip(a, 0, 10); cb = clip(b, 0, 10);").statements)
+        assert engine.open(interp.bindings["ca"].value) == 10
+        assert engine.open(interp.bindings["cb"].value) == 0
+
+    def test_secret_vector_sum_and_max(self):
+        engine, interp = make_interp()
+        interp.bindings["v"] = secrets(engine, [5, 9, 2])
+        interp.execute(parse("s = sum(v); m = max(v);").statements)
+        assert engine.open(interp.bindings["s"].value) == 16
+        assert engine.open(interp.bindings["m"].value) == 9
+
+    def test_secret_argmax(self):
+        engine, interp = make_interp()
+        interp.bindings["v"] = secrets(engine, [5, 9, 2])
+        interp.execute(parse("i = argmax(v);").statements)
+        assert engine.open(interp.bindings["i"].value) == 1
+
+    def test_declassify_opens(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [17])[0]
+        _, _, outputs = engine, interp, interp.execute(
+            parse("output(declassify(a));").statements
+        )
+        assert interp.outputs == [17]
+
+    def test_prefix_sum_loop(self):
+        engine, interp = make_interp()
+        interp.bindings["v"] = secrets(engine, [1, 2, 3, 4])
+        interp.execute(
+            parse(
+                """
+                cum = 0;
+                for i = 0 to len(v) - 1 do
+                  cum = cum + v[i];
+                  sums[i] = cum;
+                endfor
+                """
+            ).statements
+        )
+        sums = interp.bindings["sums"]
+        assert [engine.open(s.value) for s in sums] == [1, 3, 6, 10]
+
+
+class TestHooks:
+    def test_em_hook_called(self):
+        calls = {}
+
+        def em(scores, k):
+            calls["scores"] = len(scores)
+            calls["k"] = k
+            return 2
+
+        engine, interp = make_interp(em=em)
+        interp.bindings["v"] = secrets(engine, [1, 2, 3])
+        outputs = interp.execute(parse("r = em(v); output(r);").statements)
+        assert outputs == [2]
+        assert calls == {"scores": 3, "k": 1}
+
+    def test_em_k_forwarded(self):
+        engine, interp = make_interp(em=lambda scores, k: list(range(k)))
+        interp.bindings["v"] = secrets(engine, [1, 2, 3, 4])
+        outputs = interp.execute(parse("r = em(v, 2); output(r[1]);").statements)
+        assert outputs == [1]
+
+    def test_laplace_hook_called(self):
+        engine, interp = make_interp(laplace=lambda value, scale: 99.5)
+        interp.bindings["a"] = secrets(engine, [10])[0]
+        outputs = interp.execute(
+            parse("n = laplace(a, 2.0); output(n);").statements
+        )
+        assert outputs == [99.5]
+
+
+class TestRejections:
+    def test_secret_branch_rejected(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [1])[0]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("if a > 0 then x = 1; endif").statements)
+
+    def test_secret_index_rejected(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [1])[0]
+        interp.bindings["v"] = [1, 2, 3]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("x = v[a];").statements)
+
+    def test_secret_loop_bound_rejected(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [3])[0]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("for i = 0 to a do x = 1; endfor").statements)
+
+    def test_fractional_scaling_rejected(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [4])[0]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("x = a * 0.5;").statements)
+
+    def test_secret_exp_rejected(self):
+        engine, interp = make_interp()
+        interp.bindings["a"] = secrets(engine, [4])[0]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("x = exp(a);").statements)
+
+    def test_undefined_variable(self):
+        _e, interp = make_interp()[0], make_interp()[1]
+        with pytest.raises(InterpreterError):
+            interp.execute(parse("x = nope + 1;").statements)

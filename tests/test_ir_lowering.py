@@ -1,0 +1,139 @@
+"""Tests for AST -> logical-operator lowering (§4.3)."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.planner.ir import (
+    Aggregate,
+    EncryptInput,
+    LoweringError,
+    NoiseOutput,
+    Output,
+    SelectMax,
+    VectorTransform,
+    lower,
+)
+from repro.privacy.certify import certify
+from tests.conftest import small_env
+
+
+def lower_source(source, env=None, name="q"):
+    env = env or small_env()
+    program = parse(source)
+    certificate = certify(program, env)
+    return lower(program, env, certificate, name)
+
+
+def op_names(plan):
+    return [op.name for op in plan.ops]
+
+
+class TestPipelines:
+    def test_top1_pipeline(self):
+        plan = lower_source("aggr = sum(db); r = em(aggr); output(r);")
+        assert op_names(plan) == ["input", "aggregate", "select_max", "output"]
+
+    def test_laplace_pipeline(self):
+        plan = lower_source(
+            "aggr = sum(db); n = laplace(aggr[0], sens / epsilon); output(n);"
+        )
+        assert op_names(plan) == ["input", "aggregate", "noise_output", "output"]
+
+    def test_topk_k_recorded(self):
+        plan = lower_source("aggr = sum(db); r = em(aggr, 5); output(r[0]);")
+        select = next(op for op in plan.ops if isinstance(op, SelectMax))
+        assert select.k == 5
+
+    def test_transform_between_sum_and_em(self):
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            cum = 0;
+            for i = 0 to 7 do
+              cum = cum + aggr[i];
+              scores[i] = 0 - abs(9 - 2 * cum);
+            endfor
+            r = em(scores);
+            output(r);
+            """
+        )
+        names = op_names(plan)
+        assert "transform" in names
+        transform = next(op for op in plan.ops if isinstance(op, VectorTransform))
+        assert transform.nonlinear_ops > 0  # abs forces FHE or MPC
+        assert transform.linear_ops > 0
+
+    def test_linear_only_transform(self):
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            x = aggr[0] + aggr[1] + aggr[2];
+            n = laplace(x, 3 * sens / epsilon);
+            output(n);
+            """
+        )
+        transform = next(op for op in plan.ops if isinstance(op, VectorTransform))
+        assert transform.nonlinear_ops == 0
+
+    def test_loop_multiplies_op_counts(self):
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            s = 0;
+            for i = 0 to 7 do
+              s = s + aggr[i];
+            endfor
+            n = laplace(s, 8 * sens / epsilon);
+            output(n);
+            """
+        )
+        transform = next(op for op in plan.ops if isinstance(op, VectorTransform))
+        assert transform.linear_ops >= 8
+
+    def test_noise_count_from_loop(self):
+        env = small_env(categories=8)
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            for i = 0 to 7 do
+              n[i] = laplace(aggr[i], 8 * sens / epsilon);
+            endfor
+            output(n[0]);
+            """,
+            env,
+        )
+        noises = [op for op in plan.ops if isinstance(op, NoiseOutput)]
+        assert sum(op.count for op in noises) == 8
+
+    def test_sampling_recorded(self):
+        plan = lower_source(
+            "s = sampleUniform(db, 0.05); aggr = sum(s); r = em(aggr); output(r);"
+        )
+        inp = next(op for op in plan.ops if isinstance(op, EncryptInput))
+        assert inp.sample_fraction == pytest.approx(0.05)
+        assert plan.sample_fraction == pytest.approx(0.05)
+
+    def test_post_statements_split(self):
+        plan = lower_source("aggr = sum(db); r = em(aggr); output(r);")
+        assert plan.aggregate_var == "aggr"
+        assert len(plan.post_statements) == 2  # em assignment + output
+
+    def test_output_count(self):
+        plan = lower_source(
+            "aggr = sum(db); r = em(aggr); output(r); output(r);"
+        )
+        out = next(op for op in plan.ops if isinstance(op, Output))
+        assert out.values == 2
+
+
+class TestValidation:
+    def test_aggregate_required(self):
+        from repro.analysis.types import QueryEnvironment
+
+        env = small_env()
+        program = parse("x = 1; output(x);")
+        # Certification passes (public output) but lowering rejects it:
+        # there is nothing federated to plan.
+        cert = certify(program, env)
+        with pytest.raises(LoweringError):
+            lower(program, env, cert, "degenerate")

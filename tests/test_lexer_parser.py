@@ -1,0 +1,202 @@
+"""Tests for the query-language front end (Fig 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    IntLit,
+    UnOp,
+    Var,
+    calls_in,
+    format_program,
+    walk_statements,
+)
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse, parse_expression
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("for foo to total do endfor")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["FOR", "IDENT", "TO", "IDENT", "DO", "ENDFOR", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.001 1e3 2.5e-2")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["INT", "FLOAT", "FLOAT", "FLOAT", "FLOAT"]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <= b == c && d")
+        ops = [t.text for t in tokens if t.kind == "OP"]
+        assert ops == ["<=", "==", "&&"]
+
+    def test_comments(self):
+        tokens = tokenize("a = 1; // comment\nb = 2; # another\n")
+        idents = [t.text for t in tokens if t.kind == "IDENT"]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        expr = parse_expression("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+        assert expr.right.op == ">"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary(self):
+        expr = parse_expression("-x + !y")
+        assert isinstance(expr.left, UnOp) and expr.left.op == "-"
+        assert isinstance(expr.right, UnOp) and expr.right.op == "!"
+
+    def test_nested_indexing(self):
+        expr = parse_expression("db[i][j]")
+        assert isinstance(expr, Index)
+        assert isinstance(expr.base, Index)
+        assert expr.base.base.name == "db"
+
+    def test_call_with_args(self):
+        expr = parse_expression("clip(x, 0, 10)")
+        assert isinstance(expr, Call)
+        assert expr.func == "clip"
+        assert len(expr.args) == 3
+
+    def test_call_no_args(self):
+        expr = parse_expression("f()")
+        assert isinstance(expr, Call) and expr.args == []
+
+    def test_boolean_literals(self):
+        from repro.lang.ast import BoolLit
+
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_left_associativity(self):
+        expr = parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+
+class TestStatements:
+    def test_assignment(self):
+        program = parse("x = 42;")
+        assert isinstance(program.statements[0], Assign)
+
+    def test_index_assignment(self):
+        program = parse("a[i+1] = 5;")
+        stmt = program.statements[0]
+        assert isinstance(stmt, IndexAssign)
+        assert stmt.var == "a"
+
+    def test_expression_statement(self):
+        program = parse("output(x);")
+        assert isinstance(program.statements[0], ExprStmt)
+
+    def test_for_loop(self):
+        program = parse("for i = 0 to 9 do s = s + i; endfor")
+        loop = program.statements[0]
+        assert isinstance(loop, For)
+        assert loop.var == "i"
+        assert len(loop.body) == 1
+
+    def test_if_else(self):
+        program = parse("if x > 0 then y = 1; else y = 2; endif")
+        branch = program.statements[0]
+        assert isinstance(branch, If)
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 1
+
+    def test_if_without_else(self):
+        program = parse("if x > 0 then y = 1; endif")
+        assert program.statements[0].else_body == []
+
+    def test_nested_structures(self):
+        src = """
+        for i = 0 to 3 do
+          if a[i] > m then
+            m = a[i];
+            for j = 0 to i do k = k + 1; endfor
+          endif
+        endfor
+        """
+        program = parse(src)
+        stmts = list(walk_statements(program.statements))
+        assert sum(isinstance(s, For) for s in stmts) == 2
+        assert sum(isinstance(s, If) for s in stmts) == 1
+
+    def test_indexed_read_in_expression_statement(self):
+        # `a[i]` followed by something that is not '=' must parse as a read.
+        program = parse("x = a[i] + 1;")
+        assert isinstance(program.statements[0], Assign)
+
+    def test_missing_endfor(self):
+        with pytest.raises(ParseError):
+            parse("for i = 0 to 3 do x = 1;")
+
+    def test_missing_semicolon_is_ok(self):
+        # Semicolons are separators; the final one is optional.
+        program = parse("x = 1")
+        assert len(program.statements) == 1
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("x = ;")
+
+
+class TestRoundtrip:
+    SOURCES = [
+        "aggr = sum(db); result = em(aggr); output(result);",
+        "for i = 0 to 9 do a[i] = db[i][0]; endfor",
+        "if x > 1 && !(y == 2) then output(x); else output(y); endif",
+        "x = laplace(sum(db)[0], sens / epsilon); output(x);",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_format_parse_roundtrip(self, source):
+        first = parse(source)
+        formatted = format_program(first)
+        second = parse(formatted)
+        assert format_program(second) == formatted
+
+    def test_calls_in(self):
+        program = parse("a = sum(db); b = em(a); output(b);")
+        names = sorted(c.func for c in calls_in(program.statements))
+        assert names == ["em", "output", "sum"]
+
+
+@given(
+    value=st.integers(min_value=0, max_value=10**12),
+)
+@settings(max_examples=50)
+def test_integer_literal_roundtrip(value):
+    expr = parse_expression(str(value))
+    assert isinstance(expr, IntLit)
+    assert expr.value == value

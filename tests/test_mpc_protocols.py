@@ -1,0 +1,156 @@
+"""Tests for the higher-level committee protocols."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.mpc.engine import MPCEngine
+from repro.mpc.protocols import (
+    FIXPOINT_SCALE,
+    from_fixpoint,
+    gumbel_sample,
+    laplace_contributions,
+    noisy_argmax,
+    noisy_max,
+    prefix_sums,
+    rank_search,
+    shared_gumbel_noise,
+    shared_laplace_noise,
+    to_fixpoint,
+)
+
+
+def make_engine(parties=4, seed=3, bit_width=40):
+    return MPCEngine(parties, rng=random.Random(seed), bit_width=bit_width)
+
+
+class TestFixpoint:
+    def test_roundtrip(self):
+        for x in (0.0, 1.0, -2.5, 3.14159):
+            assert abs(from_fixpoint(to_fixpoint(x)) - x) < 1.0 / FIXPOINT_SCALE
+
+    def test_scale_is_16_bits(self):
+        assert FIXPOINT_SCALE == 1 << 16
+
+
+class TestDistributedLaplace:
+    def test_contributions_sum_to_laplace(self):
+        """The gamma-difference decomposition produces Laplace samples:
+        check variance 2b^2 and symmetry over many joint draws."""
+        rng = random.Random(11)
+        scale = 2.0
+        totals = [sum(laplace_contributions(scale, 5, rng)) for _ in range(4000)]
+        assert abs(statistics.mean(totals)) < 0.25
+        assert abs(statistics.pvariance(totals) - 2 * scale * scale) < 1.5
+
+    def test_contribution_count(self):
+        rng = random.Random(1)
+        assert len(laplace_contributions(1.0, 7, rng)) == 7
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            laplace_contributions(1.0, 0, random.Random(1))
+
+    def test_shared_noise_stays_secret_until_open(self):
+        e = make_engine()
+        noise = shared_laplace_noise(e, 1.0, random.Random(5))
+        value = e.open(noise)  # only the joint opening reveals it
+        assert isinstance(value, int)
+
+    def test_shared_noise_distribution(self):
+        e = make_engine()
+        rng = random.Random(17)
+        samples = [from_fixpoint(e.open(shared_laplace_noise(e, 1.0, rng))) for _ in range(300)]
+        assert abs(statistics.mean(samples)) < 0.4
+
+
+class TestGumbel:
+    def test_gumbel_sample_moments(self):
+        rng = random.Random(3)
+        samples = [gumbel_sample(1.0, rng) for _ in range(8000)]
+        euler = 0.5772156649
+        assert abs(statistics.mean(samples) - euler) < 0.1
+        assert abs(statistics.pvariance(samples) - math.pi**2 / 6) < 0.3
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            gumbel_sample(0.0, random.Random(1))
+
+    def test_shared_gumbel_opens_to_fixpoint_sample(self):
+        e = make_engine()
+        value = e.open(shared_gumbel_noise(e, 1.0, random.Random(9)))
+        assert -64 * FIXPOINT_SCALE < value < 64 * FIXPOINT_SCALE
+
+
+class TestNoisyArgmax:
+    def test_clear_winner(self):
+        e = make_engine()
+        scores = [e.input_value(to_fixpoint(s)) for s in (0, 1, 50, 2)]
+        winner = noisy_argmax(e, scores, noise_scale=0.5, rng=random.Random(2))
+        assert winner == 2
+
+    def test_randomization_with_close_scores(self):
+        """With comparable scores the mechanism is randomized: both top
+        candidates win sometimes (the exponential mechanism property)."""
+        winners = set()
+        for seed in range(12):
+            e = make_engine(seed=seed)
+            scores = [e.input_value(to_fixpoint(s)) for s in (10.0, 10.2)]
+            winners.add(noisy_argmax(e, scores, 8.0, random.Random(seed)))
+        assert winners == {0, 1}
+
+    def test_noisy_max_returns_value(self):
+        e = make_engine()
+        scores = [e.input_value(to_fixpoint(s)) for s in (1, 30, 2)]
+        index, value = noisy_max(e, scores, 0.5, random.Random(4))
+        assert index == 1
+        assert from_fixpoint(value) > 20
+
+
+class TestRankSearch:
+    def test_prefix_sums(self):
+        e = make_engine()
+        values = [e.input_value(v) for v in (1, 2, 3)]
+        cums = [e.open(c) for c in prefix_sums(e, values)]
+        assert cums == [1, 3, 6]
+
+    def test_median_bin(self):
+        e = make_engine()
+        hist = [e.input_value(v) for v in (2, 3, 5, 1)]  # total 11, rank 6
+        assert e.open(rank_search(e, hist, 6)) == 2
+
+    def test_first_bin(self):
+        e = make_engine()
+        hist = [e.input_value(v) for v in (10, 1, 1)]
+        assert e.open(rank_search(e, hist, 5)) == 0
+
+    def test_last_bin(self):
+        e = make_engine()
+        hist = [e.input_value(v) for v in (1, 1, 10)]
+        assert e.open(rank_search(e, hist, 12)) == 2
+
+    def test_invalid_rank(self):
+        e = make_engine()
+        with pytest.raises(ValueError):
+            rank_search(e, [e.input_value(1)], 0)
+
+    def test_rank_search_matches_cleartext(self):
+        rng = random.Random(8)
+        for _ in range(5):
+            hist = [rng.randrange(6) for _ in range(6)]
+            total = sum(hist)
+            if total == 0:
+                continue
+            rank = rng.randint(1, total)
+            e = make_engine(seed=rng.randrange(1000))
+            shared = [e.input_value(v) for v in hist]
+            got = e.open(rank_search(e, shared, rank))
+            cum = 0
+            for i, count in enumerate(hist):
+                cum += count
+                if cum >= rank:
+                    expected = i
+                    break
+            assert got == expected

@@ -1,0 +1,102 @@
+"""Tests for the Paillier AHE implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import paillier
+
+# A single session keypair: keygen is the slow part, the tests share it.
+_RNG = random.Random(42)
+KEY = paillier.keygen(bits=128, rng=_RNG)
+PK = KEY.public
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, rng):
+        for m in (0, 1, 42, 10**9, PK.n - 1):
+            ct = paillier.encrypt(PK, m, rng)
+            assert paillier.decrypt(KEY, ct) == m % PK.n
+
+    def test_encryption_is_randomized(self, rng):
+        a = paillier.encrypt(PK, 5, rng)
+        b = paillier.encrypt(PK, 5, rng)
+        assert a.value != b.value
+        assert paillier.decrypt(KEY, a) == paillier.decrypt(KEY, b) == 5
+
+    def test_negative_plaintext_wraps(self, rng):
+        ct = paillier.encrypt(PK, -3, rng)
+        assert paillier.decrypt(KEY, ct) == PK.n - 3
+
+    def test_wrong_key_rejected(self, rng):
+        other = paillier.keygen(bits=128, rng=random.Random(7))
+        ct = paillier.encrypt(PK, 1, rng)
+        with pytest.raises(ValueError):
+            paillier.decrypt(other, ct)
+
+
+class TestHomomorphism:
+    def test_addition(self, rng):
+        a = paillier.encrypt(PK, 20, rng)
+        b = paillier.encrypt(PK, 22, rng)
+        assert paillier.decrypt(KEY, paillier.add_ciphertexts(a, b)) == 42
+
+    def test_addition_mod_n(self, rng):
+        a = paillier.encrypt(PK, PK.n - 1, rng)
+        b = paillier.encrypt(PK, 2, rng)
+        assert paillier.decrypt(KEY, paillier.add_ciphertexts(a, b)) == 1
+
+    def test_add_plain(self, rng):
+        ct = paillier.encrypt(PK, 40, rng)
+        assert paillier.decrypt(KEY, paillier.add_plain(PK, ct, 2)) == 42
+
+    def test_mul_plain(self, rng):
+        ct = paillier.encrypt(PK, 6, rng)
+        assert paillier.decrypt(KEY, paillier.mul_plain(ct, 7)) == 42
+
+    def test_sum_ciphertexts(self, rng):
+        cts = [paillier.encrypt(PK, v, rng) for v in (1, 2, 3, 4, 5)]
+        assert paillier.decrypt(KEY, paillier.sum_ciphertexts(cts)) == 15
+
+    def test_sum_empty_raises(self):
+        with pytest.raises(ValueError):
+            paillier.sum_ciphertexts([])
+
+    def test_mixed_keys_rejected(self, rng):
+        other = paillier.keygen(bits=128, rng=random.Random(9))
+        a = paillier.encrypt(PK, 1, rng)
+        b = paillier.encrypt(other.public, 1, rng)
+        with pytest.raises(ValueError):
+            paillier.add_ciphertexts(a, b)
+
+
+class TestAggregationScenario:
+    def test_one_hot_histogram(self, rng):
+        """The Arboretum input path: sum encrypted one-hot vectors."""
+        categories = 4
+        data = [0, 1, 1, 3, 1, 2, 1, 0]
+        totals = None
+        for value in data:
+            row = [paillier.encrypt(PK, 1 if i == value else 0, rng) for i in range(categories)]
+            if totals is None:
+                totals = row
+            else:
+                totals = [paillier.add_ciphertexts(a, b) for a, b in zip(totals, row)]
+        counts = [paillier.decrypt(KEY, ct) for ct in totals]
+        assert counts == [2, 4, 1, 1]
+
+
+@given(
+    a=st.integers(min_value=0, max_value=2**40),
+    b=st.integers(min_value=0, max_value=2**40),
+    k=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_homomorphic_identity_property(a, b, k):
+    rng = random.Random(a ^ b ^ k)
+    ca = paillier.encrypt(PK, a, rng)
+    cb = paillier.encrypt(PK, b, rng)
+    combined = paillier.add_ciphertexts(paillier.mul_plain(ca, k), cb)
+    assert paillier.decrypt(KEY, combined) == (a * k + b) % PK.n

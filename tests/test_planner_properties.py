@@ -1,0 +1,102 @@
+"""Property-based tests for planner invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner.costmodel import Constraints, Goal
+from repro.planner.search import Planner, PlanningFailed, plan_query
+from tests.conftest import small_env
+
+TOP1 = "aggr = sum(db); output(em(aggr));"
+COUNT = "aggr = sum(db); output(laplace(aggr[0], sens / epsilon));"
+
+
+@given(
+    exponent=st.integers(min_value=14, max_value=30),
+    categories_log2=st.integers(min_value=3, max_value=15),
+)
+@settings(max_examples=12, deadline=None)
+def test_returned_plans_always_positive_and_finite(exponent, categories_log2):
+    env = small_env(num_participants=2**exponent, categories=2**categories_log2)
+    result = plan_query(TOP1, env)
+    cost = result.plan.cost
+    for metric in cost.METRICS:
+        value = cost.get(metric)
+        assert math.isfinite(value)
+        assert value > 0
+
+
+@given(
+    max_minutes=st.floats(min_value=5.0, max_value=300.0),
+    max_gb=st.floats(min_value=0.5, max_value=16.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_constraints_always_respected_or_failure(max_minutes, max_gb):
+    """Whatever limits the analyst picks, a returned plan obeys them."""
+    env = small_env(num_participants=10**9, categories=2**12, epsilon=0.1)
+    constraints = Constraints(
+        participant_max_seconds=max_minutes * 60,
+        participant_max_bytes=max_gb * 1e9,
+    )
+    try:
+        result = plan_query(TOP1, env, constraints=constraints)
+    except PlanningFailed:
+        return  # acceptable outcome: nothing satisfies the limits
+    cost = result.plan.cost
+    assert cost.participant_max_seconds <= max_minutes * 60 + 1e-6
+    assert cost.participant_max_bytes <= max_gb * 1e9 + 1e-6
+
+
+@given(metric=st.sampled_from(list(Constraints().__dataclass_fields__)))
+@settings(max_examples=6, deadline=None)
+def test_goal_optimality_within_search(metric):
+    """The plan the planner returns for goal g is never worse on g than
+    the plan it returns for any other goal."""
+    env = small_env(num_participants=10**8, categories=2**10, epsilon=0.1)
+    chosen = plan_query(TOP1, env, goal=Goal(metric))
+    other = plan_query(TOP1, env, goal=Goal("participant_max_bytes"))
+    assert chosen.plan.cost.get(metric) <= other.plan.cost.get(metric) + 1e-6
+
+
+def test_aggregator_cost_monotone_in_participants():
+    values = []
+    for exponent in (20, 24, 28):
+        env = small_env(num_participants=2**exponent, categories=2**10, epsilon=0.1)
+        values.append(plan_query(TOP1, env).plan.cost.aggregator_core_seconds)
+    assert values == sorted(values)
+
+
+def test_expected_committee_burden_vanishes_at_scale():
+    burdens = []
+    for exponent in (18, 24, 30):
+        env = small_env(num_participants=2**exponent, categories=2**10, epsilon=0.1)
+        result = plan_query(TOP1, env)
+        score = result.plan.score
+        burdens.append(
+            result.plan.cost.participant_expected_seconds
+            - score.participant_base_seconds
+        )
+    assert burdens[0] > burdens[-1]
+
+
+def test_laplace_queries_cheaper_than_em_everywhere():
+    env = small_env(num_participants=10**9, categories=2**12, epsilon=0.1)
+    em_cost = plan_query(TOP1, env).plan.cost
+    lap_cost = plan_query(COUNT, env).plan.cost
+    assert lap_cost.aggregator_bytes <= em_cost.aggregator_bytes
+    assert (
+        lap_cost.participant_expected_seconds
+        <= em_cost.participant_expected_seconds
+    )
+
+
+def test_deterministic_planning():
+    """Planning is a pure function of (query, env, constraints, goal)."""
+    env = small_env(num_participants=10**7, categories=2**8)
+    a = plan_query(TOP1, env)
+    b = plan_query(TOP1, env)
+    assert a.plan.choices == b.plan.choices
+    assert a.plan.cost == b.plan.cost

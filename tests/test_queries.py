@@ -1,0 +1,100 @@
+"""Tests for the query catalog (Table 2): every query parses, certifies,
+lowers, and plans."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.planner.ir import lower
+from repro.planner.search import plan_query
+from repro.privacy.certify import certify
+from repro.queries.catalog import ALL_QUERIES, BY_NAME, LEGACY_SYSTEMS, get
+
+
+def small_environment(spec):
+    categories = 8
+    if spec.name == "k-medians":
+        categories = 20
+    elif spec.name in ("hypotest", "cms"):
+        categories = 1
+    elif spec.name == "bayes":
+        categories = 16
+    return spec.environment(num_participants=10**6, categories=categories)
+
+
+class TestCatalog:
+    def test_ten_queries(self):
+        assert len(ALL_QUERIES) == 10
+        assert set(BY_NAME) == {
+            "top1",
+            "topK",
+            "gap",
+            "auction",
+            "hypotest",
+            "secrecy",
+            "median",
+            "cms",
+            "bayes",
+            "k-medians",
+        }
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_legacy_attribution(self):
+        assert LEGACY_SYSTEMS["cms"] == "Honeycrisp"
+        assert LEGACY_SYSTEMS["bayes"] == "Orchard"
+        assert LEGACY_SYSTEMS["k-medians"] == "Orchard"
+        assert LEGACY_SYSTEMS["median"] == "Böhler"
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_queries_are_concise(self, spec):
+        """Table 2's point: queries are a handful of lines."""
+        assert 3 <= spec.lines <= 40
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_parses(self, spec):
+        program = parse(spec.source)
+        assert program.statements
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_certifies(self, spec):
+        env = small_environment(spec)
+        certificate = certify(parse(spec.source), env)
+        assert certificate.epsilon > 0
+        kinds = {m.mechanism for m in certificate.mechanisms}
+        if spec.uses_em:
+            assert "em" in kinds
+        else:
+            assert kinds == {"laplace"}
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_lowers(self, spec):
+        env = small_environment(spec)
+        program = parse(spec.source)
+        certificate = certify(program, env)
+        logical = lower(program, env, certificate, spec.name)
+        assert logical.aggregate_var is not None
+        assert logical.post_statements
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_plans_at_paper_scale(self, spec):
+        result = plan_query(spec.source, spec.environment(), name=spec.name)
+        assert result.succeeded
+
+    def test_secrecy_has_amplification(self):
+        spec = get("secrecy")
+        env = small_environment(spec)
+        certificate = certify(parse(spec.source), env)
+        # The sampled mechanism costs far less than the ambient epsilon.
+        assert certificate.epsilon < env.epsilon / 2
+
+    def test_topk_charges_sqrt_k(self):
+        spec = get("topK")
+        env = small_environment(spec)
+        certificate = certify(parse(spec.source), env)
+        assert certificate.epsilon == pytest.approx(env.epsilon * 5**0.5)
+
+    def test_em_queries_use_exponential_scheme(self):
+        for name in ("top1", "topK", "gap", "auction", "secrecy", "median"):
+            assert get(name).uses_em

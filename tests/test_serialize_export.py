@@ -1,0 +1,111 @@
+"""Tests for plan serialization and CSV artifact export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.planner.search import plan_query
+from repro.planner.serialize import plan_to_dict, planning_result_to_dict
+from tests.conftest import small_env
+
+TOP1 = "aggr = sum(db); output(em(aggr));"
+
+
+class TestPlanSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return plan_query(TOP1, small_env(num_participants=10**6), name="top1")
+
+    def test_json_roundtrip(self, result):
+        document = planning_result_to_dict(result)
+        text = json.dumps(document)  # must be JSON-safe
+        parsed = json.loads(text)
+        assert parsed["succeeded"] is True
+        assert parsed["plan"]["query"] == "top1"
+
+    def test_cost_metrics_complete(self, result):
+        document = plan_to_dict(result.plan)
+        assert set(document["cost"]) == {
+            "aggregator_core_seconds",
+            "aggregator_bytes",
+            "participant_expected_seconds",
+            "participant_expected_bytes",
+            "participant_max_seconds",
+            "participant_max_bytes",
+        }
+
+    def test_vignettes_serialized(self, result):
+        document = plan_to_dict(result.plan)
+        names = [v["name"] for v in document["vignettes"]]
+        assert "input" in names
+        assert "keygen" in names
+        committee = next(
+            v for v in document["vignettes"] if v.get("committee_group")
+        )
+        assert committee["committee_type"] in ("keygen", "decryption", "operations")
+
+    def test_work_omits_zero_counters(self, result):
+        document = plan_to_dict(result.plan)
+        for vignette in document["vignettes"]:
+            assert all(value for value in vignette["work"].values())
+
+    def test_certificate_section(self, result):
+        document = planning_result_to_dict(result)
+        cert = document["certificate"]
+        assert cert["epsilon"] > 0
+        assert cert["mechanisms"][0]["mechanism"] == "em"
+
+    def test_cli_json_output(self, capsys):
+        code = main(
+            [
+                "plan", "cms", "--json",
+                "--participants", "1000000", "--categories", "1",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["plan"]["scheme"]["name"] == "ahe"
+
+
+class TestExport:
+    def test_export_all(self, tmp_path, capsys):
+        # Use the CLI path so it is covered too; this regenerates every
+        # artifact, so it is the slowest unit test in the suite.
+        code = main(["eval", "--export", str(tmp_path)])
+        assert code == 0
+        expected = {
+            "table1.csv",
+            "table2.csv",
+            "fig6_participant_costs.csv",
+            "fig7_committee_costs.csv",
+            "fig8_aggregator_costs.csv",
+            "fig9_planner_runtime.csv",
+            "fig10_scalability.csv",
+            "fig11_power.csv",
+            "hetero.csv",
+        }
+        written = {p.name for p in tmp_path.iterdir()}
+        assert expected <= written
+        with open(tmp_path / "table2.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+        assert {"query", "action", "lines"} <= set(rows[0])
+        with open(tmp_path / "fig10_scalability.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 42  # 14 sizes x 3 limits
+
+
+class TestReproductionReport:
+    def test_all_checks_pass(self, tmp_path):
+        from repro.eval.report import main, run_checks
+
+        checks = run_checks()
+        failing = [c for c in checks if not c.passed]
+        assert not failing, [f"{c.section}: {c.claim} -> {c.measured}" for c in failing]
+        path = tmp_path / "REPORT.md"
+        assert main(str(path)) == 0
+        text = path.read_text()
+        assert "checks pass" in text
+        assert "FAIL" not in text

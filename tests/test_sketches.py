@@ -1,0 +1,130 @@
+"""Tests for the count-mean sketch (the real cms workload)."""
+
+import random
+
+import pytest
+
+from repro.planner.search import plan_query
+from repro.queries.sketches import (
+    CountMeanSketch,
+    SketchParams,
+    aggregate_rows,
+    build_sketch,
+    encode_row,
+    noise_sketch,
+    sketch_environment,
+    sketch_query_source,
+)
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.network import FederatedNetwork
+
+
+def skewed_items(rng, n=400):
+    """A population where 'popular' dominates a long tail."""
+    items = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.4:
+            items.append("popular")
+        elif r < 0.55:
+            items.append("second")
+        else:
+            items.append(f"tail-{rng.randrange(500)}")
+    return items
+
+
+class TestEncoding:
+    def test_row_shape(self):
+        params = SketchParams(depth=4, width=64)
+        row = encode_row("hello", params)
+        assert len(row) == 256
+        assert sum(row) == 4  # exactly one cell per hash row
+        for r in range(4):
+            assert sum(row[r * 64 : (r + 1) * 64]) == 1
+
+    def test_deterministic(self):
+        params = SketchParams()
+        assert encode_row("x", params) == encode_row("x", params)
+
+    def test_different_items_differ(self):
+        params = SketchParams(depth=4, width=1024)
+        assert encode_row("a", params) != encode_row("b", params)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SketchParams(depth=0)
+        with pytest.raises(ValueError):
+            SketchParams(width=1)
+
+
+class TestEstimation:
+    def test_noiseless_estimate_accurate(self):
+        rng = random.Random(7)
+        items = skewed_items(rng)
+        params = SketchParams(depth=4, width=256)
+        sketch = build_sketch(items, params)
+        truth = items.count("popular")
+        assert abs(sketch.estimate("popular") - truth) < 0.15 * truth + 5
+
+    def test_absent_item_near_zero(self):
+        rng = random.Random(8)
+        sketch = build_sketch(skewed_items(rng), SketchParams(4, 256))
+        assert abs(sketch.estimate("never-seen")) < 15
+
+    def test_noised_estimate_still_useful(self):
+        rng = random.Random(9)
+        items = skewed_items(rng)
+        params = SketchParams(depth=4, width=256)
+        sketch = build_sketch(items, params, epsilon=2.0, rng=rng)
+        truth = items.count("popular")
+        assert abs(sketch.estimate("popular") - truth) < 0.25 * truth + 15
+
+    def test_heavy_hitters(self):
+        rng = random.Random(10)
+        items = skewed_items(rng)
+        sketch = build_sketch(items, SketchParams(4, 256))
+        candidates = ["popular", "second", "never-seen", "tail-1"]
+        hitters = sketch.heavy_hitters(candidates, threshold=40.0)
+        assert "popular" in hitters
+        assert "never-seen" not in hitters
+
+    def test_noise_scale_validation(self):
+        with pytest.raises(ValueError):
+            noise_sketch([1.0], 0.0, SketchParams(), random.Random(0))
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_rows([[1, 0]], SketchParams(depth=4, width=64))
+
+
+class TestFederatedSketch:
+    def test_query_certifies_at_epsilon(self):
+        params = SketchParams(depth=2, width=8)
+        env = sketch_environment(params, num_participants=10**6, epsilon=1.0)
+        result = plan_query(sketch_query_source(params), env, name="cms-sketch")
+        # Vector Laplace with row_l1 = depth certifies at exactly epsilon.
+        assert result.certificate.epsilon == pytest.approx(1.0, rel=1e-6)
+
+    def test_end_to_end_estimation(self):
+        """The full federated pipeline: devices encode sketch rows, the
+        executor aggregates and noises them, the analyst estimates."""
+        params = SketchParams(depth=2, width=8)
+        devices = 48
+        env = sketch_environment(params, num_participants=devices, epsilon=8.0)
+        planning = plan_query(sketch_query_source(params), env, name="cms-sketch")
+        network = FederatedNetwork(devices, rng=random.Random(11))
+        rng = random.Random(12)
+        truth = 0
+        for device in network.devices:
+            item = "popular" if rng.random() < 0.5 else f"tail-{rng.randrange(50)}"
+            truth += item == "popular"
+            device.value = encode_row(item, params)
+        result = QueryExecutor(
+            network, planning, committee_size=4, key_prime_bits=96,
+            rng=random.Random(13),
+        ).run()
+        # The outputs are the noised cells, in order.
+        cells = [float(v) for v in result.outputs]
+        assert len(cells) == params.cells
+        sketch = CountMeanSketch(params, cells, devices)
+        assert abs(sketch.estimate("popular") - truth) < 12

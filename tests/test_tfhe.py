@@ -1,0 +1,198 @@
+"""Tests for the TFHE boolean-FHE model and its planner integration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.tfhe import (
+    TFHEEngine,
+    addition_gate_count,
+    comparison_gate_count,
+)
+
+
+def make_engine(seed=1):
+    engine = TFHEEngine(random.Random(seed))
+    return engine, engine.keygen()
+
+
+class TestBits:
+    def test_roundtrip(self):
+        engine, sk = make_engine()
+        for bit in (True, False):
+            ct = engine.encrypt(sk.public, bit)
+            assert engine.decrypt(sk, ct) == bit
+
+    def test_int_roundtrip(self):
+        engine, sk = make_engine()
+        for value in (0, 1, 42, 255):
+            bits = engine.encrypt_int(sk.public, value, 8)
+            assert engine.decrypt_int(sk, bits) == value
+
+    def test_int_range_checked(self):
+        engine, sk = make_engine()
+        with pytest.raises(ValueError):
+            engine.encrypt_int(sk.public, 256, 8)
+        with pytest.raises(ValueError):
+            engine.encrypt_int(sk.public, -1, 8)
+
+    def test_wrong_key_rejected(self):
+        e1, sk1 = make_engine(1)
+        e2, sk2 = make_engine(2)
+        ct = e1.encrypt(sk1.public, True)
+        with pytest.raises(ValueError):
+            e2.decrypt(sk2, ct)
+
+
+class TestGates:
+    def test_truth_tables(self):
+        engine, sk = make_engine()
+        t = engine.encrypt(sk.public, True)
+        f = engine.encrypt(sk.public, False)
+        assert engine.decrypt(sk, engine.and_(t, f)) is False
+        assert engine.decrypt(sk, engine.or_(t, f)) is True
+        assert engine.decrypt(sk, engine.xor(t, t)) is False
+        assert engine.decrypt(sk, engine.not_(f)) is True
+        assert engine.decrypt(sk, engine.mux(t, t, f)) is True
+        assert engine.decrypt(sk, engine.mux(f, t, f)) is False
+
+    def test_gate_counting(self):
+        engine, sk = make_engine()
+        t = engine.encrypt(sk.public, True)
+        before = engine.gates_evaluated
+        engine.and_(t, t)
+        engine.not_(t)  # free
+        assert engine.gates_evaluated == before + 1
+
+    def test_mixed_keys_rejected(self):
+        e1, sk1 = make_engine(1)
+        a = e1.encrypt(sk1.public, True)
+        e2, sk2 = make_engine(2)
+        b = e2.encrypt(sk2.public, True)
+        with pytest.raises(ValueError):
+            e1.and_(a, b)
+
+
+class TestCircuits:
+    def test_adder(self):
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 23, 8)
+        b = engine.encrypt_int(sk.public, 19, 8)
+        assert engine.decrypt_int(sk, engine.add_int(a, b)) == 42
+
+    def test_adder_wraps(self):
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 200, 8)
+        b = engine.encrypt_int(sk.public, 100, 8)
+        assert engine.decrypt_int(sk, engine.add_int(a, b)) == (300 % 256)
+
+    def test_comparison(self):
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 5, 8)
+        b = engine.encrypt_int(sk.public, 9, 8)
+        assert engine.decrypt(sk, engine.less_than(a, b)) is True
+        assert engine.decrypt(sk, engine.less_than(b, a)) is False
+        assert engine.decrypt(sk, engine.less_than(a, a)) is False
+
+    def test_equals(self):
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 7, 8)
+        b = engine.encrypt_int(sk.public, 7, 8)
+        c = engine.encrypt_int(sk.public, 8, 8)
+        assert engine.decrypt(sk, engine.equals(a, b)) is True
+        assert engine.decrypt(sk, engine.equals(a, c)) is False
+
+    def test_max(self):
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 13, 8)
+        b = engine.encrypt_int(sk.public, 200, 8)
+        assert engine.decrypt_int(sk, engine.max_int(a, b)) == 200
+
+    def test_gate_count_formulas(self):
+        """The planner's cost formulas match the circuits' actual counts."""
+        engine, sk = make_engine()
+        a = engine.encrypt_int(sk.public, 5, 16)
+        b = engine.encrypt_int(sk.public, 9, 16)
+        before = engine.gates_evaluated
+        engine.less_than(a, b)
+        assert engine.gates_evaluated - before == comparison_gate_count(16)
+        before = engine.gates_evaluated
+        engine.add_int(a, b)
+        assert engine.gates_evaluated - before == addition_gate_count(16)
+
+
+class TestPlannerIntegration:
+    def test_tfhe_option_offered_for_nonlinear_transform(self):
+        from repro.planner.expand import choice_space
+        from repro.planner.ir import VectorTransform
+        from tests.test_ir_lowering import lower_source
+
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            x = abs(aggr[0] - 24);
+            n = laplace(x, sens / epsilon);
+            output(n);
+            """
+        )
+        transform_options = next(
+            options
+            for op, options in choice_space(plan)
+            if isinstance(op, VectorTransform)
+        )
+        assert any(c.option == "aggregator_tfhe" for c in transform_options)
+
+    def test_tfhe_plan_structure(self):
+        from repro.planner.costmodel import CostModel
+        from repro.planner.expand import choice_space, instantiate
+        from repro.planner.ir import VectorTransform
+        from tests.test_ir_lowering import lower_source
+        from tests.test_expand_plan import first_choices
+
+        plan = lower_source(
+            """
+            aggr = sum(db);
+            x = abs(aggr[0] - 24);
+            n = laplace(x, sens / epsilon);
+            output(n);
+            """
+        )
+        space = choice_space(plan)
+        choices = first_choices(plan)
+        for i, (op, options) in enumerate(space):
+            if isinstance(op, VectorTransform):
+                choices[i] = next(
+                    c for c in options if c.option == "aggregator_tfhe"
+                )
+        vignettes, _ = instantiate(plan, choices, CostModel())
+        names = [v.name for v in vignettes]
+        assert "scheme-switch" in names
+        assert "scheme-convert" in names
+        tfhe_stage = next(v for v in vignettes if v.crypto == "tfhe")
+        assert tfhe_stage.work.tfhe_gates > 0
+
+    def test_planner_prefers_tfhe_when_comparisons_dominate(self):
+        """§3.3's dependency: for a comparison-heavy transform under a
+        tight committee-time limit, the boolean scheme can win."""
+        from repro.planner.costmodel import Constraints, Goal
+        from repro.planner.search import Planner
+        from tests.conftest import small_env
+
+        env = small_env(num_participants=10**9, categories=2**12, epsilon=0.1)
+        source = """
+        aggr = sum(db);
+        c = len(aggr);
+        for i = 0 to c - 1 do
+          scores[i] = clip(aggr[i], 0, 1000);
+        endfor
+        n = laplace(scores[0], sens / epsilon);
+        output(n);
+        """
+        result = Planner(env, goal=Goal("participant_max_seconds")).plan_source(
+            source, "cmp-heavy"
+        )
+        # The plan must at least have considered the TFHE stage; whichever
+        # wins, the search space contained both and produced a valid plan.
+        assert result.succeeded
