@@ -1,15 +1,25 @@
 # Arboretum reproduction — common targets.
 
-.PHONY: install test bench eval examples artifacts all
+export PYTHONPATH := src
+
+.PHONY: install test lint bench eval examples artifacts all
 
 install:
 	python setup.py develop
 
 test:
-	pytest tests/
+	python -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping ruff check"; \
+	fi
+	python -m repro lint src/repro
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	python -m pytest benchmarks/ --benchmark-only
 
 eval:
 	python -m repro eval all
@@ -20,4 +30,4 @@ artifacts:
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
 
-all: test bench
+all: lint test bench

@@ -38,6 +38,14 @@ from .privacy.certify import Certificate, CertificationError, certify
 from .queries.catalog import ALL_QUERIES, QuerySpec
 from .runtime.executor import QueryExecutor, QueryRejected, QueryResult
 from .runtime.network import FederatedNetwork
+from .verify import (
+    PlanVerificationError,
+    VerificationReport,
+    Violation,
+    lint_paths,
+    verify_plan,
+    verify_planning_result,
+)
 
 __version__ = "1.0.0"
 
@@ -64,5 +72,11 @@ __all__ = [
     "QueryRejected",
     "ALL_QUERIES",
     "QuerySpec",
+    "PlanVerificationError",
+    "VerificationReport",
+    "Violation",
+    "verify_plan",
+    "verify_planning_result",
+    "lint_paths",
     "__version__",
 ]

@@ -17,7 +17,7 @@ matching the paper's escape hatch.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..lang.ast import (

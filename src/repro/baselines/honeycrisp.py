@@ -14,7 +14,7 @@ from typing import Optional
 from ..analysis.types import QueryEnvironment
 from ..planner.costmodel import CostModel
 from ..planner.plan import PlanScore
-from .orchard import BaselineUnsupported, orchard_score
+from .orchard import orchard_score
 
 
 def honeycrisp_score(

@@ -17,7 +17,6 @@ code contains the most participants?" (N = 10^8, R = 41,683 categories):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 #: §3.2's running example.

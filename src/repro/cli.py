@@ -10,6 +10,10 @@ Commands
 ``queries``  list the built-in Table 2 queries.
 ``eval``     regenerate an evaluation artifact (table1, table2, fig6..fig11,
              hetero, or all).
+``verify-plan``  plan a query and run the static plan verifier on the result,
+             printing the invariant report (exit 1 on any violation).
+``lint``     run the privacy-invariant source lint over the repro sources
+             (exit 1 on any violation).
 """
 
 from __future__ import annotations
@@ -30,8 +34,16 @@ def _read_query(args) -> str:
         return sys.stdin.read()
     if args.query_file in BY_NAME:
         return BY_NAME[args.query_file].source
-    with open(args.query_file) as handle:
-        return handle.read()
+    try:
+        with open(args.query_file) as handle:
+            return handle.read()
+    except OSError as exc:
+        print(
+            f"cannot read query {args.query_file!r}: {exc.strerror or exc}; "
+            "pass a file, a built-in query name (see 'repro queries'), or '-'",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
 
 def _environment(args) -> QueryEnvironment:
@@ -141,6 +153,33 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_verify_plan(args) -> int:
+    from .verify import verify_planning_result
+
+    source = _read_query(args)
+    env = _environment(args)
+    planner = Planner(env, constraints=_constraints(args), goal=Goal(args.goal))
+    try:
+        result = planner.plan_source(source, name=args.query_file)
+    except PlanningFailed as failure:
+        print(f"planning failed: {failure}", file=sys.stderr)
+        return 1
+    report = verify_planning_result(result)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def cmd_lint(args) -> int:
+    import pathlib
+
+    from .verify import lint_paths
+
+    paths = args.paths or [str(pathlib.Path(__file__).resolve().parent)]
+    report = lint_paths(paths)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_queries(_args) -> int:
     print(f"{'name':12s} {'action':28s} {'from':8s} {'lines':>5s}")
     for spec in ALL_QUERIES:
@@ -224,6 +263,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     queries = sub.add_parser("queries", help="list the built-in queries")
     queries.set_defaults(func=cmd_queries)
+
+    verify = sub.add_parser(
+        "verify-plan", help="plan a query and statically verify the result"
+    )
+    verify.add_argument("query_file", help="query file, built-in query name, or '-' for stdin")
+    verify.add_argument("--participants", type=int, default=10**9)
+    verify.add_argument("--categories", type=int, default=2**15)
+    verify.add_argument("--epsilon", type=float, default=0.1)
+    verify.add_argument("--sensitivity", type=float, default=1.0)
+    verify.add_argument(
+        "--goal", default="participant_expected_seconds", choices=CostVector.METRICS
+    )
+    verify.add_argument("--max-aggregator-core-hours", type=float, default=None)
+    verify.add_argument("--max-participant-minutes", type=float, default=None)
+    verify.add_argument("--max-participant-gb", type=float, default=None)
+    verify.set_defaults(func=cmd_verify_plan)
+
+    lint = sub.add_parser(
+        "lint", help="run the privacy-invariant source lint"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")
     evaluate.add_argument(

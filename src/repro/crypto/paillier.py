@@ -132,3 +132,12 @@ def sum_ciphertexts(cts: Sequence[PaillierCiphertext]) -> PaillierCiphertext:
     for ct in cts[1:]:
         acc = add_ciphertexts(acc, ct)
     return acc
+
+
+def tampered(ct: PaillierCiphertext) -> PaillierCiphertext:
+    """A Byzantine-corrupted copy of ``ct`` (for adversarial test paths).
+
+    Keeping ciphertext forgery here means no code outside crypto/ ever
+    constructs cipher state directly (the ``no-private-state`` lint rule).
+    """
+    return PaillierCiphertext((ct.value + 1) % (ct.n * ct.n), ct.n)

@@ -22,7 +22,7 @@ from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 from .field import PrimeField, next_prime
-from .shamir import Share, lagrange_coefficients_at_zero, share_secret
+from .shamir import Share, lagrange_coefficients_at_zero
 
 
 @dataclass(frozen=True)

@@ -15,14 +15,12 @@ and the aggregator is limited to 1,000 core-hours.
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis.types import QueryEnvironment
 from ..baselines.bohler import bohler_member_traffic
 from ..baselines.honeycrisp import honeycrisp_score
-from ..baselines.orchard import BaselineUnsupported, ORCHARD_EM_CATEGORY_LIMIT, orchard_score
+from ..baselines.orchard import orchard_score
 from ..baselines.strawmen import (
     ZIPCODE_CATEGORIES,
     ZIPCODE_PARTICIPANTS,

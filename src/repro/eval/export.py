@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 import os
-from dataclasses import asdict, fields, is_dataclass
+from dataclasses import asdict, is_dataclass
 from typing import List, Sequence
 
 from . import experiments, hetero, power

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
-from ..queries.catalog import get
 from . import experiments, hetero, power
 
 

@@ -12,7 +12,7 @@ predefined two-dimensional array ``db``; outputs are produced by calling
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List
 
 #: Name of the predefined input array: db[i][j] is participant i's j-th input.
 DB_NAME = "db"

@@ -18,16 +18,11 @@ tests exercise malicious members through :meth:`MPCEngine.corrupt_share`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from ..crypto.field import PrimeField, DEFAULT_FIELD
-from ..crypto.shamir import (
-    Share,
-    lagrange_coefficients_at_zero,
-    reconstruct_secret,
-    share_secret,
-)
+from ..crypto.shamir import Share, reconstruct_secret, share_secret
 from .beaver import EdaBit, OfflineDealer
 
 #: Statistical security (bits of masking slack) for masked openings, as in
@@ -102,7 +97,6 @@ class MPCEngine:
         self.threshold = threshold if threshold is not None else (num_parties - 1) // 2
         if num_parties < 2 * self.threshold + 1:
             raise ValueError("threshold violates the honest-majority bound n >= 2t+1")
-        self.rng = rng or random.Random()
         self.bit_width = bit_width
         mask_bits = bit_width + 1 + STATISTICAL_SECURITY_BITS
         if field.bits < mask_bits + 2:
@@ -110,6 +104,11 @@ class MPCEngine:
                 f"field of {field.bits} bits too small for {bit_width}-bit values "
                 f"with {STATISTICAL_SECURITY_BITS}-bit statistical masking"
             )
+        if rng is None:
+            # Shares and masks drawn from an ambient stream would be
+            # unreproducible and unauditable; callers must thread their own.
+            raise ValueError("MPCEngine requires an explicit random.Random")
+        self.rng = rng
         self.dealer = OfflineDealer(field, self.party_ids, self.threshold, self.rng)
         self.counters = CostCounters()
         self._id = MPCEngine._next_engine_id

@@ -19,7 +19,7 @@ fixing the ~8× device slowdown), and a BGV ciphertext at degree 2^15 with a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields
 from typing import Dict, Optional
 
 

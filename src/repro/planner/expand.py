@@ -23,8 +23,8 @@ sharings on committees; only mechanism outputs are declassified.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from .costmodel import (
     CostModel,

@@ -27,7 +27,6 @@ from ..lang.ast import (
     ExprStmt,
     For,
     If,
-    Index,
     IndexAssign,
     Program,
     Stmt,

@@ -20,9 +20,10 @@ memory for half the queries with heuristics disabled).
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..analysis.types import QueryEnvironment
 from ..lang.ast import Program
@@ -32,7 +33,7 @@ from ..privacy.certify import Certificate, certify
 from .costmodel import Constraints, CostModel, Goal
 from .expand import Choice, ExpansionError, choice_space, instantiate, space_size
 from .ir import LogicalPlan, lower
-from .plan import Plan, PlanScore, score_vignettes
+from .plan import Plan, score_vignettes
 
 
 class PlanningFailed(Exception):
@@ -87,6 +88,7 @@ class Planner:
         goal: Optional[Goal] = None,
         heuristics: bool = True,
         memory_budget_candidates: int = 250_000,
+        verify: Optional[bool] = None,
     ):
         self.env = env
         self.model = model or CostModel()
@@ -94,6 +96,9 @@ class Planner:
         self.goal = goal or Goal()
         self.heuristics = heuristics
         self.memory_budget_candidates = memory_budget_candidates
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY", "").lower() in ("1", "true", "yes")
+        self.verify = verify
 
     # ----------------------------------------------------------- front door
 
@@ -219,6 +224,12 @@ class Planner:
                 f"({stats.candidates_scored} candidates scored, "
                 f"{stats.pruned_by_constraint} pruned by constraints)"
             )
+        if self.verify:
+            # Post-condition: the winning plan must satisfy every static
+            # invariant. Imported lazily — verify depends on this module.
+            from ..verify import verify_planning_result
+
+            verify_planning_result(result).raise_if_failed()
         return result
 
 

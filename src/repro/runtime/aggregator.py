@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto import paillier
@@ -153,8 +153,7 @@ class AggregatorNode:
     def tamper_with_upload(self, index: int) -> None:
         """Byzantine hook: corrupt a stored upload's first ciphertext."""
         upload = self.uploads[index]
-        ct = upload.ciphertexts[0]
-        upload.ciphertexts[0] = paillier.PaillierCiphertext(ct.value + 1, ct.n)
+        upload.ciphertexts[0] = paillier.tampered(upload.ciphertexts[0])
 
     def corrupt_step(self, index: int) -> None:
         """Byzantine hook: rewrite a committed step after publication."""

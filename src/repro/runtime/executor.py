@@ -30,17 +30,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..crypto import paillier
 from ..crypto.sortition import jointly_generate_block
 from ..crypto.zkp import one_hot_statement, prove, range_statement
 from ..mpc.protocols import (
     FIXPOINT_SCALE,
-    gumbel_sample,
     shared_gumbel_noise,
     shared_laplace_noise,
-    to_fixpoint,
 )
 from ..planner.expand import Choice
 from ..planner.search import PlanningResult
@@ -103,9 +101,11 @@ class QueryExecutor:
         key_prime_bits: int = 128,
         rng: Optional[random.Random] = None,
         accountant: Optional[PrivacyAccountant] = None,
+        verify_plan: bool = True,
     ):
         self.network = network
         self.planning = planning
+        self.verify_plan = verify_plan
         self.logical = planning.logical_plan
         self.env = self.logical.env
         self.committee_size = committee_size
@@ -138,6 +138,14 @@ class QueryExecutor:
     # ------------------------------------------------------------------ run
 
     def run(self) -> QueryResult:
+        if self.verify_plan:
+            # Gate: refuse to execute a plan that fails static verification
+            # (a tampered certificate, an unsound vignette sequence, ...).
+            # The accountant is deliberately NOT consulted here — budget
+            # exhaustion must keep raising QueryRejected, not a verify error.
+            from ..verify import verify_planning_result
+
+            verify_planning_result(self.planning).raise_if_failed()
         n = len(self.network)
         m = self.committee_size
         max_committees = max(1, n // m)

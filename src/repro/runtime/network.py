@@ -9,8 +9,8 @@ the cost model, exactly as in the paper's methodology.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..crypto.sortition import (
     CommitteeAssignment,

@@ -16,7 +16,7 @@ call per query.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .analysis.types import QueryEnvironment

@@ -1,0 +1,43 @@
+"""Static plan verification and privacy-invariant source lint.
+
+Two halves (see docs/ARCHITECTURE.md, "Plan verification"):
+
+* :func:`verify_plan` / :func:`verify_planning_result` statically re-check
+  a concrete plan against the invariant catalog in
+  :mod:`repro.verify.invariants` — IR well-formedness, encryption-type
+  soundness, DP soundness, committee feasibility — without executing any
+  cryptography.
+* :func:`lint_paths` runs the repo-specific ``ast`` linter
+  (:mod:`repro.verify.source_lint`) over source trees.
+
+Both report through :class:`VerificationReport`; raising callers get a
+single exception type, :class:`PlanVerificationError`.
+"""
+
+from .invariants import INVARIANTS, INVARIANTS_BY_RULE, Invariant, catalog_text
+from .plan_checker import PlanChecker, verify_plan, verify_planning_result
+from .report import (
+    PlanVerificationError,
+    Severity,
+    VerificationReport,
+    Violation,
+)
+from .source_lint import LINT_RULES, LintRule, SourceLinter, lint_paths
+
+__all__ = [
+    "INVARIANTS",
+    "INVARIANTS_BY_RULE",
+    "Invariant",
+    "LINT_RULES",
+    "LintRule",
+    "PlanChecker",
+    "PlanVerificationError",
+    "Severity",
+    "SourceLinter",
+    "VerificationReport",
+    "Violation",
+    "catalog_text",
+    "lint_paths",
+    "verify_plan",
+    "verify_planning_result",
+]

@@ -1,0 +1,214 @@
+"""The invariant catalog the plan verifier enforces.
+
+Each :class:`Invariant` names one property every plan the planner emits
+must satisfy, with the paper section it comes from. The checks themselves
+live in :mod:`repro.verify.plan_checker`; this module is the single place
+that documents *what* is checked, so the CLI, the docs, and the tests can
+enumerate the catalog without duplicating prose.
+
+Rule groups:
+
+* ``ssa-*``  — def-before-use and pipeline shape on the lowered IR (§4.3)
+* ``ty-*``   — type/range consistency between IR, environment and plan (§4.4)
+* ``enc-*``  — encryption-type soundness (§4.5, §6)
+* ``dp-*``   — differential-privacy soundness (§4.2)
+* ``com-*``  — committee feasibility (§5.1-§5.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from .report import Severity
+
+#: Vignettes that legitimately run in the clear: proof verification and
+#: mailbox forwarding see only ciphertexts-as-bytes and ZKPs, and
+#: postprocess/publish see only already-released mechanism outputs (§4.5).
+CLEAR_ALLOWED: FrozenSet[str] = frozenset(
+    {"verify", "forwarding", "postprocess", "publish"}
+)
+
+#: Vignette names that realize a DP mechanism (Gumbel/Laplace noising and
+#: the FHE exponential mechanism); a release must be dominated by one.
+MECHANISM_VIGNETTES: FrozenSet[str] = frozenset(
+    {"em-expo", "em-noise", "em-argmax", "noise-output"}
+)
+
+#: The multiplicative depth budget the planner provisions FHE schemes for
+#: (expand.py instantiates ``fhe_params_for(packed, depth=6)``).
+PLANNER_FHE_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One verifiable property of a concrete plan."""
+
+    rule: str
+    title: str
+    paper_ref: str
+    description: str
+    severity: Severity = Severity.ERROR
+
+
+INVARIANTS: Tuple[Invariant, ...] = (
+    # ------------------------------------------------------------ SSA / IR
+    Invariant(
+        "ssa-def-before-use",
+        "Post-aggregate statements use only defined variables",
+        "§4.3",
+        "Every variable read in the committee-interpreted statement list is "
+        "the aggregate variable, a predefined scalar (epsilon/sens/N), an "
+        "environment constant, or was assigned earlier in the block.",
+    ),
+    Invariant(
+        "ssa-pipeline-order",
+        "Logical ops appear in pipeline order",
+        "§4.3",
+        "EncryptInput precedes Aggregate, every mechanism op follows the "
+        "Aggregate, and the Output op follows at least one mechanism op.",
+    ),
+    Invariant(
+        "ty-ranges",
+        "IR operand ranges match the environment",
+        "§4.4",
+        "EncryptInput/Aggregate widths equal the environment row width, "
+        "participant counts match, and mechanism arities (k, count, length) "
+        "are positive and within the aggregate's width.",
+    ),
+    Invariant(
+        "ty-scheme-consistent",
+        "Plan scheme re-derives from its choices",
+        "§4.5, §6",
+        "Recomputing the §4.5 cryptosystem rule from the plan's choice list "
+        "(FHE iff some stage needs more than additions) reproduces the "
+        "plan's SchemeParams, and the input vignette uploads exactly "
+        "ceil(packed_width / slots) ciphertexts.",
+    ),
+    Invariant(
+        "choice-legal",
+        "Every choice is drawn from the op's legal option set",
+        "§4.3",
+        "Re-enumerating the choice space of the logical plan yields every "
+        "choice recorded in the plan (no out-of-grid fanouts or batch "
+        "sizes, no option applied to the wrong operator).",
+    ),
+    # ---------------------------------------------------------- encryption
+    Invariant(
+        "enc-no-clear-secrets",
+        "No plaintext crosses a vignette boundary",
+        "§4.5",
+        "Only proof-verification, forwarding, postprocess and publish "
+        "vignettes may run in the clear; every stage that touches "
+        "db-derived values is AHE/FHE/TFHE/MPC.",
+    ),
+    Invariant(
+        "enc-decrypt-in-committee",
+        "Decryption happens only inside decryption committees",
+        "§4.5, §5.2",
+        "Every vignette performing threshold decryptions runs at a "
+        "COMMITTEE location with committee_type='decryption'; the "
+        "aggregator and participants never hold key shares.",
+    ),
+    Invariant(
+        "enc-ahe-depth",
+        "AHE stages never exceed additive depth",
+        "§4.5, §6",
+        "Under an AHE (depth-0 BGV) scheme no vignette performs ciphertext "
+        "multiplications, exponentiations or comparisons, and no vignette "
+        "is marked 'fhe'.",
+    ),
+    Invariant(
+        "enc-bgv-budget",
+        "FHE parameters cover the circuit's noise budget",
+        "§6",
+        "An FHE plan's ciphertext modulus is at least what "
+        "BGVParams.for_depth requires for the planner's depth budget, and "
+        "the ring degree meets the HE-standard security table for that "
+        "modulus size.",
+    ),
+    Invariant(
+        "enc-no-he-after-share",
+        "No homomorphic stage after the data is secret-shared",
+        "§4.5",
+        "Once a decryption-type committee has turned the aggregate into "
+        "MPC sharings, no later aggregator vignette operates on AHE/FHE "
+        "ciphertexts of it.",
+    ),
+    # ------------------------------------------------------------------ DP
+    Invariant(
+        "dp-noise-dominates-output",
+        "Every output is dominated by a noise op",
+        "§4.2",
+        "Each Output op in the IR is preceded by a SelectMax or "
+        "NoiseOutput op, and the publish vignette runs after at least one "
+        "mechanism vignette — declassification only post-noise.",
+    ),
+    Invariant(
+        "dp-epsilon-matches",
+        "Re-derived (ε, δ) matches the certificate",
+        "§4.2",
+        "Summing the certificate's mechanism applications reproduces its "
+        "total privacy cost, and the mechanism kinds match the IR's "
+        "mechanism ops (unless the certificate is analyst-supplied).",
+    ),
+    Invariant(
+        "dp-budget-afford",
+        "The accountant can afford the plan",
+        "§5.2",
+        "When an accountant ledger is supplied, the certificate's total "
+        "cost fits the remaining budget (the keygen committee's check, "
+        "replayed statically).",
+    ),
+    # ---------------------------------------------------------- committees
+    Invariant(
+        "com-tail-bound",
+        "Committee size satisfies the binomial tail bound",
+        "§5.1",
+        "committee_failure_probability(m, c, f, g) <= the per-round "
+        "failure budget for the plan's committee count — the sizing "
+        "inequality of §5.1, re-evaluated.",
+    ),
+    Invariant(
+        "com-count-covers-plan",
+        "Sized committee count covers the vignettes",
+        "§5.1",
+        "The CommitteeParameters were computed for at least as many "
+        "committees as the vignette sequence actually uses.",
+    ),
+    Invariant(
+        "com-keygen-unique",
+        "Exactly one keygen committee, in MPC",
+        "§5.2",
+        "The plan has exactly one keygen vignette; it runs at a COMMITTEE "
+        "location in MPC with committee_type='keygen'.",
+    ),
+    Invariant(
+        "com-fanin-capacity",
+        "Vignette fan-in fits committee capacity",
+        "§4.3, §5.1",
+        "Tree fanouts, MPC batch sizes and decryption batches recorded in "
+        "the plan's choices stay within the planner's parameter grids, so "
+        "no committee is asked to combine more inputs than a committee of "
+        "size m can process.",
+    ),
+    Invariant(
+        "com-staffing",
+        "Enough devices to staff all committees",
+        "§5.1",
+        "num_committees * m should not exceed the participant population; "
+        "small-scale simulations may exceed it (devices serve on several "
+        "committees), so this is a warning, not an error.",
+        severity=Severity.WARNING,
+    ),
+)
+
+INVARIANTS_BY_RULE: Dict[str, Invariant] = {inv.rule: inv for inv in INVARIANTS}
+
+
+def catalog_text() -> str:
+    """Human-readable invariant catalog (the CLI's --list-invariants)."""
+    lines = []
+    for inv in INVARIANTS:
+        lines.append(f"{inv.rule:26s} {inv.paper_ref:12s} {inv.title}")
+    return "\n".join(lines)

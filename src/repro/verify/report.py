@@ -1,0 +1,113 @@
+"""Verification reports: violations, severities, and the one exception type.
+
+Every checker in ``repro.verify`` — the plan/IR verifier and the source
+linter — reports through the same structures, so callers (the planner's
+debug post-condition, the executor's pre-execution gate, the CLI, the
+test suite) handle one shape: a :class:`VerificationReport` holding
+:class:`Violation` records, and a single :class:`PlanVerificationError`
+for the raising paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make a plan unsound (or a source file non-compliant)
+    and fail verification; ``WARNING`` findings are surfaced but do not
+    block execution — e.g. a small-scale simulation that selects more
+    committee seats than there are devices, which the runtime handles by
+    reusing devices.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: which rule fired, where, and what to do about it.
+
+    ``subject`` names the thing being blamed — a vignette, a logical op key,
+    or a ``file:line`` location — so diagnostics stay actionable.
+    """
+
+    rule: str
+    subject: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of verifying one plan or linting one file set."""
+
+    target: str
+    violations: List[Violation] = field(default_factory=list)
+    checked_rules: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity violation was found."""
+        return not self.errors
+
+    def add(
+        self,
+        rule: str,
+        subject: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        self.violations.append(Violation(rule, subject, message, severity))
+
+    def merge(self, other: "VerificationReport") -> None:
+        self.violations.extend(other.violations)
+        for rule in other.checked_rules:
+            if rule not in self.checked_rules:
+                self.checked_rules.append(rule)
+
+    def format(self) -> str:
+        lines = [
+            f"verification of {self.target}: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"({len(self.checked_rules)} rules checked)"
+        ]
+        for v in self.violations:
+            lines.append(f"  {v.severity.value:7s} {v}")
+        if not self.violations:
+            lines.append("  clean")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`PlanVerificationError` if any ERROR was found."""
+        if not self.ok:
+            raise PlanVerificationError(self)
+        return self
+
+
+class PlanVerificationError(Exception):
+    """Raised when a plan (or source tree) fails verification.
+
+    This is the single exception type downstream code catches for *all*
+    verifier failures; the full report rides along as ``.report``.
+    """
+
+    def __init__(self, report: VerificationReport):
+        self.report = report
+        super().__init__(report.format())

@@ -1,0 +1,402 @@
+"""Repo-specific source lint (the second half of ``repro.verify``).
+
+A small ``ast``-based linter with rules that generic tools do not know
+about because they encode *this* codebase's safety conventions:
+
+* **R1 no-private-state** — outside ``crypto/`` no code may reach into
+  another object's underscore-prefixed attributes or forge cipher-state
+  objects (``BGVCiphertext``/``PaillierCiphertext``) directly; the
+  behavioural crypto models keep their plaintext slots private and the
+  only sanctioned read is ``decrypt`` with the matching key.
+* **R2 no-unseeded-rng** — inside ``privacy/`` and ``mpc/`` every random
+  draw must come from an explicitly threaded ``random.Random`` instance:
+  no module-level ``random.random()``-style calls and no zero-argument
+  ``random.Random()`` constructions. DP noise and MPC shares drawn from
+  an ambient, unseedable stream are untestable and unauditable.
+* **R3 no-float-on-secret** — in the MPC/secret-sharing modules, values
+  annotated as ``SecretValue``/``Share`` are field elements; true
+  division or mixing with float literals silently leaves the field.
+  (Floor division — exact field arithmetic — is fine.)
+* **R4 no-unused-imports** — a pyflakes-subset check so ``make lint``
+  has teeth even when ruff is not installed. ``__init__.py`` re-export
+  hubs and ``from __future__`` imports are exempt.
+
+All rules report through the shared :class:`VerificationReport` shape,
+with ``file:line`` subjects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .report import VerificationReport, Violation
+
+#: Cipher-state classes whose direct construction outside crypto/ would
+#: bypass encryption (forging a ciphertext around chosen "plaintext").
+_CIPHER_STATE_CLASSES = frozenset({"BGVCiphertext", "PaillierCiphertext"})
+
+#: ``random``-module samplers that draw from the ambient global stream.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "getrandbits",
+        "seed",
+    }
+)
+
+#: Annotations marking secret-tainted field elements (R3).
+_SECRET_ANNOTATIONS = ("SecretValue", "Share")
+
+#: Files (beyond ``mpc/``) whose arithmetic is field arithmetic.
+_FIELD_ARITHMETIC_FILES = frozenset({"field.py", "shamir.py", "vsr.py"})
+
+
+@dataclass(frozen=True)
+class LintRule:
+    rule: str
+    scope: str
+    description: str
+
+
+LINT_RULES: Tuple[LintRule, ...] = (
+    LintRule(
+        "no-private-state",
+        "src outside crypto/",
+        "no underscore-attribute access on foreign objects, no direct "
+        "construction of cipher-state classes",
+    ),
+    LintRule(
+        "no-unseeded-rng",
+        "privacy/, mpc/",
+        "no global-stream random.* calls, no zero-argument random.Random()",
+    ),
+    LintRule(
+        "no-float-on-secret",
+        "mpc/, crypto field arithmetic",
+        "no true division or float mixing on SecretValue/Share operands",
+    ),
+    LintRule(
+        "no-unused-imports",
+        "all of src",
+        "every module-level import is used (init re-export hubs exempt)",
+    ),
+)
+
+
+def _annotation_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations ("Share", "Optional[SecretValue]").
+            names.update(
+                part
+                for marker in _SECRET_ANNOTATIONS
+                for part in ([marker] if marker in sub.value else [])
+            )
+    return names
+
+
+def _is_secret_annotation(node: ast.AST) -> bool:
+    if node is None:
+        return False
+    return any(m in _annotation_names(node) for m in _SECRET_ANNOTATIONS)
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Runs every applicable rule over one parsed module."""
+
+    def __init__(self, path: Path, rel: str, tree: ast.Module, source: str = ""):
+        self.path = path
+        self.rel = rel
+        self.tree = tree
+        self.lines = source.splitlines()
+        parts = path.parts
+        self.in_crypto = "crypto" in parts
+        self.in_rng_scope = "privacy" in parts or "mpc" in parts
+        self.in_field_scope = "mpc" in parts or (
+            self.in_crypto and path.name in _FIELD_ARITHMETIC_FILES
+        )
+        self.is_init = path.name == "__init__.py"
+        self.class_names = {
+            n.name for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        }
+        self._normalized_classes = {
+            name.replace("_", "").lower() for name in self.class_names
+        }
+        self.violations: List[Violation] = []
+        #: Names bound to secret-annotated values in the current function.
+        self._secret_stack: List[Set[str]] = []
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if 0 < line <= len(self.lines):
+            # Escape hatch for deliberate violations (Byzantine test
+            # hooks, adversarial fixtures): ``# verify: allow(<rule>)``.
+            if f"verify: allow({rule})" in self.lines[line - 1]:
+                return
+        self.violations.append(Violation(rule, f"{self.rel}:{line}", message))
+
+    def run(self) -> List[Violation]:
+        self.visit(self.tree)
+        if not self.is_init:
+            self._check_unused_imports()
+        return self.violations
+
+    # ------------------------------------------------------ R1 private state
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if (
+            not self.in_crypto
+            and attr.startswith("_")
+            and not attr.startswith("__")
+        ):
+            receiver = node.value
+            # self/cls, the enclosing class itself, and instances named
+            # after a class in this file (e.g. ``parser`` of ``_Parser``)
+            # are that class's own state, not a foreign object's.
+            allowed = isinstance(receiver, ast.Name) and (
+                receiver.id in ("self", "cls")
+                or receiver.id in self.class_names
+                or receiver.id.replace("_", "").lower() in self._normalized_classes
+            )
+            if not allowed:
+                where = (
+                    receiver.id
+                    if isinstance(receiver, ast.Name)
+                    else type(receiver).__name__
+                )
+                self._flag(
+                    "no-private-state",
+                    node,
+                    f"access to private attribute {attr!r} of {where!r}; "
+                    "internal state (cipher slots, engine internals) may "
+                    "only be touched by its own class or inside crypto/",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # R1: forging cipher state.
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if (
+            not self.in_crypto
+            and name in _CIPHER_STATE_CLASSES
+        ):
+            self._flag(
+                "no-private-state",
+                node,
+                f"direct construction of {name} outside crypto/ forges "
+                "cipher state; use the scheme's encrypt()",
+            )
+        # R2: global-stream RNG.
+        if self.in_rng_scope and isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                if func.attr == "Random" and not node.args and not node.keywords:
+                    self._flag(
+                        "no-unseeded-rng",
+                        node,
+                        "random.Random() without a seed: privacy/MPC "
+                        "randomness must be threaded through an explicit, "
+                        "caller-provided random.Random",
+                    )
+                elif func.attr in _GLOBAL_RNG_FUNCS:
+                    self._flag(
+                        "no-unseeded-rng",
+                        node,
+                        f"random.{func.attr}() draws from the ambient global "
+                        "stream; pass a random.Random instance instead",
+                    )
+        # R3: float() coercion of a secret.
+        if (
+            self._secret_stack
+            and isinstance(func, ast.Name)
+            and func.id == "float"
+        ):
+            for arg in node.args:
+                for leaf in ast.walk(arg):
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and leaf.id in self._secret_stack[-1]
+                    ):
+                        self._flag(
+                            "no-float-on-secret",
+                            node,
+                            f"float({leaf.id}) coerces a secret field "
+                            "element out of the field",
+                        )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_rng_scope and node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RNG_FUNCS:
+                    self._flag(
+                        "no-unseeded-rng",
+                        node,
+                        f"importing random.{alias.name} binds the ambient "
+                        "global stream; thread a random.Random instead",
+                    )
+        self.generic_visit(node)
+
+    # -------------------------------------------------- R3 float-on-secret
+
+    def _visit_function(self, node) -> None:
+        secrets: Set[str] = set()
+        if self.in_field_scope:
+            args = list(node.args.posonlyargs) + list(node.args.args) + list(
+                node.args.kwonlyargs
+            )
+            for arg in args:
+                if _is_secret_annotation(arg.annotation):
+                    secrets.add(arg.arg)
+        self._secret_stack.append(secrets)
+        self.generic_visit(node)
+        self._secret_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._secret_stack and self._secret_stack[-1]:
+            secrets = self._secret_stack[-1]
+
+            def touches_secret(expr: ast.AST) -> str:
+                for leaf in ast.walk(expr):
+                    if isinstance(leaf, ast.Name) and leaf.id in secrets:
+                        return leaf.id
+                return ""
+
+            secret_name = touches_secret(node.left) or touches_secret(node.right)
+            if secret_name:
+                if isinstance(node.op, ast.Div):
+                    self._flag(
+                        "no-float-on-secret",
+                        node,
+                        f"true division on secret operand {secret_name!r}; "
+                        "field elements need modular inverse or floor "
+                        "division",
+                    )
+                else:
+                    for side in (node.left, node.right):
+                        if isinstance(side, ast.Constant) and isinstance(
+                            side.value, float
+                        ):
+                            self._flag(
+                                "no-float-on-secret",
+                                node,
+                                f"float literal {side.value!r} mixed into "
+                                f"arithmetic on secret {secret_name!r}",
+                            )
+        self.generic_visit(node)
+
+    # --------------------------------------------------- R4 unused imports
+
+    def _check_unused_imports(self) -> None:
+        imported = []  # (binding name, display name, node)
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    binding = alias.asname or alias.name.split(".")[0]
+                    imported.append((binding, alias.name, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    binding = alias.asname or alias.name
+                    imported.append((binding, alias.name, node))
+        if not imported:
+            return
+        used: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # Covers __all__ entries and string-form annotations.
+                used.add(node.value)
+        for binding, display, node in imported:
+            if binding not in used:
+                self._flag(
+                    "no-unused-imports",
+                    node,
+                    f"{display!r} is imported but never used",
+                )
+
+
+class SourceLinter:
+    """Lints a set of files or directory trees."""
+
+    def __init__(self, root: Path = None):
+        self.root = Path(root) if root else Path.cwd()
+
+    def _files(self, paths: Sequence) -> Iterable[Path]:
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                yield from sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                yield path
+
+    def lint_file(self, path: Path) -> List[Violation]:
+        path = Path(path)
+        try:
+            rel = str(path.relative_to(self.root))
+        except ValueError:
+            rel = str(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    "syntax", f"{rel}:{exc.lineno or 0}", f"unparsable: {exc.msg}"
+                )
+            ]
+        return _FileLinter(path, rel, tree, source).run()
+
+    def lint_paths(self, paths: Sequence) -> VerificationReport:
+        report = VerificationReport(
+            target=", ".join(str(p) for p in paths),
+            checked_rules=[rule.rule for rule in LINT_RULES],
+        )
+        for raw in paths:
+            if not Path(raw).exists():
+                # A typo'd path silently "passing" would defeat the lint.
+                report.add("no-such-path", str(raw), "path does not exist")
+        for path in self._files(paths):
+            report.violations.extend(self.lint_file(path))
+        return report
+
+
+def lint_paths(paths: Sequence, root: Path = None) -> VerificationReport:
+    """Lint files/directories; the module-level convenience entry point."""
+    return SourceLinter(root).lint_paths(paths)

@@ -1,0 +1,349 @@
+"""Tests for the static plan verifier and the privacy-invariant source lint.
+
+The mutation tests each corrupt one aspect of a known-good plan and assert
+that exactly the matching invariant fires with a diagnostic naming the
+guilty op/vignette — the verifier's job is not just "fail" but "say what
+broke and where".
+"""
+
+import copy
+import dataclasses
+import random
+
+import pytest
+
+from repro import (
+    FederatedNetwork,
+    PlanVerificationError,
+    Planner,
+    QueryEnvironment,
+    QueryExecutor,
+)
+from repro.cli import main
+from repro.lang.ast import Assign, Var
+from repro.planner.costmodel import Work, fhe_params_for
+from repro.planner.expand import Choice, TREE_FANOUTS
+from repro.planner.ir import NoiseOutput
+from repro.planner.plan import Location, Vignette
+from repro.privacy.accountant import PrivacyAccountant, PrivacyCost
+from repro.queries.catalog import ALL_QUERIES
+from repro.verify import (
+    INVARIANTS,
+    VerificationReport,
+    Violation,
+    lint_paths,
+    verify_plan,
+    verify_planning_result,
+)
+from repro.verify.invariants import INVARIANTS_BY_RULE
+
+EM_SOURCE = "aggr = sum(db);\nresult = em(aggr);\noutput(result);"
+LAPLACE_SOURCE = (
+    "aggr = sum(db);\nresult = laplace(aggr[0], sens / epsilon);\noutput(result);"
+)
+
+
+def small_env() -> QueryEnvironment:
+    return QueryEnvironment(num_participants=10**6, row_width=64, epsilon=1.0)
+
+
+def plan_em():
+    return Planner(small_env()).plan_source(EM_SOURCE, "em-query")
+
+
+def plan_laplace():
+    return Planner(small_env()).plan_source(LAPLACE_SOURCE, "laplace-query")
+
+
+def failing_rules(report: VerificationReport):
+    return {v.rule for v in report.violations}
+
+
+def violation_for(report: VerificationReport, rule: str) -> Violation:
+    matches = [v for v in report.violations if v.rule == rule]
+    assert matches, (
+        f"expected a {rule!r} violation, got: "
+        + "; ".join(str(v) for v in report.violations)
+    )
+    return matches[0]
+
+
+class TestCleanPlans:
+    def test_em_plan_verifies_clean(self):
+        report = verify_planning_result(plan_em())
+        assert report.ok
+        assert not report.violations
+        # Every catalogued invariant except the accountant replay (which
+        # needs a ledger) ran.
+        assert len(report.checked_rules) == len(INVARIANTS) - 1
+
+    def test_accountant_rule_runs_when_ledger_given(self):
+        result = plan_laplace()
+        acc = PrivacyAccountant(epsilon_budget=10.0, delta_budget=1e-3)
+        report = verify_planning_result(result, accountant=acc)
+        assert report.ok
+        assert "dp-budget-afford" in report.checked_rules
+
+    def test_all_catalog_queries_verify_clean_at_paper_scale(self):
+        from repro.eval.experiments import plan_paper_query
+
+        for spec in ALL_QUERIES:
+            result = plan_paper_query(spec)
+            report = verify_planning_result(result)
+            assert report.ok, f"{spec.name} failed verification:\n{report.format()}"
+
+
+class TestMutationDetection:
+    """Each test injects one defect and asserts the matching rule fires
+    with a diagnostic naming the corrupted op/vignette."""
+
+    def test_undefined_variable_in_post_block(self):
+        result = plan_em()
+        result.logical_plan.post_statements.append(
+            Assign("bogus", Var("ghost", line=9), line=9)
+        )
+        v = violation_for(verify_planning_result(result), "ssa-def-before-use")
+        assert "'ghost'" in v.message
+        assert "line 9" in v.subject
+
+    def test_dropped_noise_op_leaves_unnoised_output(self):
+        result = plan_laplace()
+        result.logical_plan.ops = [
+            op for op in result.logical_plan.ops if not isinstance(op, NoiseOutput)
+        ]
+        v = violation_for(
+            verify_planning_result(result), "dp-noise-dominates-output"
+        )
+        assert "output" in v.subject
+        assert "un-noised" in v.message
+
+    def test_decrypt_moved_to_aggregator(self):
+        result = plan_laplace()
+        decrypt = next(v for v in result.plan.vignettes if v.name == "decrypt")
+        assert decrypt.work.dist_decryptions > 0
+        decrypt.location = Location.AGGREGATOR
+        v = violation_for(
+            verify_planning_result(result), "enc-decrypt-in-committee"
+        )
+        assert "'decrypt'" in v.subject
+        assert "aggregator" in v.message
+
+    def test_mechanism_vignette_in_the_clear(self):
+        result = plan_laplace()
+        agg = next(v for v in result.plan.vignettes if v.name == "aggregate")
+        agg.crypto = "clear"
+        v = violation_for(verify_planning_result(result), "enc-no-clear-secrets")
+        assert "'aggregate'" in v.subject
+
+    def test_multiplicative_work_under_ahe(self):
+        result = plan_laplace()
+        assert result.plan.scheme.name == "ahe"
+        agg = next(v for v in result.plan.vignettes if v.name == "aggregate")
+        agg.work.he_ct_mults = 4.0
+        v = violation_for(verify_planning_result(result), "enc-ahe-depth")
+        assert "'aggregate'" in v.subject
+        assert "AHE" in v.message
+
+    def test_tampered_certificate_epsilon(self):
+        result = plan_laplace()
+        cost = result.certificate.cost
+        result.certificate.cost = PrivacyCost(cost.epsilon * 2, cost.delta)
+        v = violation_for(verify_planning_result(result), "dp-epsilon-matches")
+        assert "certificate" in v.subject
+        assert "mechanism" in v.message
+
+    def test_understaffed_committee_breaks_tail_bound(self):
+        result = plan_laplace()
+        params = result.plan.committee_params
+        result.plan.score.committee_params = dataclasses.replace(
+            params, committee_size=1
+        )
+        v = violation_for(verify_planning_result(result), "com-tail-bound")
+        assert "m=1" in v.message
+        assert "binomial tail" in v.message
+
+    def test_committee_count_undercounts_plan(self):
+        result = plan_laplace()
+        params = result.plan.committee_params
+        result.plan.score.committee_params = dataclasses.replace(
+            params, num_committees=0
+        )
+        v = violation_for(
+            verify_planning_result(result), "com-count-covers-plan"
+        )
+        assert "sized for 0 committees" in v.message
+
+    def test_scheme_swap_detected(self):
+        result = plan_laplace()
+        assert result.plan.scheme.name == "ahe"
+        result.plan.scheme = fhe_params_for(64, depth=6)
+        v = violation_for(verify_planning_result(result), "ty-scheme-consistent")
+        assert "fhe" in v.message and "ahe" in v.message
+
+    def test_aggregator_he_after_decryption_committee(self):
+        result = plan_laplace()
+        names = [v.name for v in result.plan.vignettes]
+        idx = names.index("decrypt")
+        result.plan.vignettes.insert(
+            idx + 1,
+            Vignette("transform", Location.AGGREGATOR, "ahe", Work()),
+        )
+        v = violation_for(
+            verify_planning_result(result), "enc-no-he-after-share"
+        )
+        assert "'transform'" in v.subject
+        assert "sharings" in v.message
+
+    def test_duplicate_keygen_committee(self):
+        result = plan_laplace()
+        keygen = next(v for v in result.plan.vignettes if v.name == "keygen")
+        result.plan.vignettes.append(copy.deepcopy(keygen))
+        v = violation_for(verify_planning_result(result), "com-keygen-unique")
+        assert "2 keygen vignettes" in v.message
+
+    def test_fanin_beyond_committee_capacity(self):
+        result = plan_laplace()
+        choices = result.plan.choice_list
+        victim = next(i for i, c in enumerate(choices) if c.key.startswith("aggregate"))
+        choices[victim] = Choice(
+            choices[victim].key, "committee_tree", (max(TREE_FANOUTS) * 2,)
+        )
+        v = violation_for(verify_planning_result(result), "com-fanin-capacity")
+        assert str(max(TREE_FANOUTS) * 2) in v.message
+
+    def test_exhausted_budget_flagged_when_accountant_given(self):
+        result = plan_laplace()
+        acc = PrivacyAccountant(epsilon_budget=1e-6, delta_budget=1e-12)
+        report = verify_planning_result(result, accountant=acc)
+        v = violation_for(report, "dp-budget-afford")
+        assert "ledger" in v.message
+
+    def test_each_mutation_rule_is_catalogued(self):
+        # Diagnostics always carry a paper reference via the catalog.
+        for rule, inv in INVARIANTS_BY_RULE.items():
+            assert inv.paper_ref, rule
+
+
+class TestWiring:
+    def test_planner_verify_flag_runs_clean(self):
+        result = Planner(small_env(), verify=True).plan_source(
+            LAPLACE_SOURCE, "laplace-query"
+        )
+        assert result.succeeded
+
+    def test_planner_verify_default_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert Planner(small_env()).verify is True
+        monkeypatch.delenv("REPRO_VERIFY")
+        assert Planner(small_env()).verify is False
+
+    def test_executor_gate_rejects_tampered_planning(self):
+        result = plan_laplace()
+        cost = result.certificate.cost
+        result.certificate.cost = PrivacyCost(cost.epsilon * 2, cost.delta)
+        network = FederatedNetwork(8, rng=random.Random(0))
+        executor = QueryExecutor(network, result, rng=random.Random(0))
+        with pytest.raises(PlanVerificationError) as excinfo:
+            executor.run()
+        assert not excinfo.value.report.ok
+        assert "dp-epsilon-matches" in failing_rules(excinfo.value.report)
+
+    def test_verify_plan_entry_point_matches_result_fields(self):
+        result = plan_laplace()
+        direct = verify_plan(
+            result.plan, result.logical_plan, result.certificate
+        )
+        wrapped = verify_planning_result(result)
+        assert direct.ok and wrapped.ok
+        assert direct.checked_rules == wrapped.checked_rules
+
+
+class TestCli:
+    def test_verify_plan_command_clean(self, capsys):
+        code = main(
+            ["verify-plan", "cms", "--participants", "1000000", "--categories", "1"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_command_clean_on_src(self, capsys):
+        code = main(["lint", "src/repro"])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_command_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import math\n")
+        code = main(["lint", str(bad)])
+        assert code == 1
+        assert "no-unused-imports" in capsys.readouterr().out
+
+
+class TestSourceLint:
+    def test_repro_sources_are_clean(self):
+        report = lint_paths(["src/repro"])
+        assert report.ok, report.format()
+
+    def test_private_state_access_flagged(self, tmp_path):
+        bad = tmp_path / "runtime" / "probe.py"
+        bad.parent.mkdir()
+        bad.write_text("def peek(ct):\n    return ct._plaintext\n")
+        report = lint_paths([bad])
+        v = violation_for(report, "no-private-state")
+        assert "_plaintext" in v.message
+
+    def test_cipher_forgery_flagged(self, tmp_path):
+        bad = tmp_path / "forge.py"
+        bad.write_text(
+            "def forge(paillier):\n"
+            "    return paillier.PaillierCiphertext(1, 2)\n"
+        )
+        v = violation_for(lint_paths([bad]), "no-private-state")
+        assert "PaillierCiphertext" in v.message
+
+    def test_crypto_modules_may_touch_cipher_state(self, tmp_path):
+        ok = tmp_path / "crypto" / "inside.py"
+        ok.parent.mkdir()
+        ok.write_text("def peek(ct):\n    return ct._plaintext\n")
+        assert lint_paths([ok]).ok
+
+    def test_global_rng_in_privacy_flagged(self, tmp_path):
+        bad = tmp_path / "privacy" / "noise.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n\ndef draw():\n    return random.random()\n")
+        v = violation_for(lint_paths([bad]), "no-unseeded-rng")
+        assert "random.random()" in v.message
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        bad = tmp_path / "mpc" / "shares.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n\ndef make():\n    return random.Random()\n")
+        v = violation_for(lint_paths([bad]), "no-unseeded-rng")
+        assert "seed" in v.message
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        ok = tmp_path / "mpc" / "shares.py"
+        ok.parent.mkdir()
+        ok.write_text("import random\n\ndef make(s):\n    return random.Random(s)\n")
+        assert lint_paths([ok]).ok
+
+    def test_float_division_on_secret_flagged(self, tmp_path):
+        bad = tmp_path / "mpc" / "maths.py"
+        bad.parent.mkdir()
+        bad.write_text('def half(x: "Share"):\n    return x / 2\n')
+        v = violation_for(lint_paths([bad]), "no-float-on-secret")
+        assert "division" in v.message
+
+    def test_floor_division_on_secret_allowed(self, tmp_path):
+        ok = tmp_path / "mpc" / "maths.py"
+        ok.parent.mkdir()
+        ok.write_text('def half(x: "Share"):\n    return x // 2\n')
+        assert lint_paths([ok]).ok
+
+    def test_unused_import_flagged_and_suppressible(self, tmp_path):
+        bad = tmp_path / "a.py"
+        bad.write_text("import math\n")
+        assert not lint_paths([bad]).ok
+        ok = tmp_path / "b.py"
+        ok.write_text("import math  # verify: allow(no-unused-imports)\n")
+        assert lint_paths([ok]).ok
