@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: install test lint bench eval examples artifacts all
+.PHONY: install test lint bench bench-planner bench-planner-smoke check eval examples artifacts all
 
 install:
 	python setup.py develop
@@ -20,6 +20,14 @@ lint:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+bench-planner:
+	python benchmarks/bench_planner.py --reps 3 --out BENCH_planner.json
+
+bench-planner-smoke:
+	python benchmarks/bench_planner.py --smoke --out BENCH_planner.json
+
+check: lint test bench-planner-smoke
 
 eval:
 	python -m repro eval all

@@ -1,0 +1,173 @@
+"""Planner search benchmark: optimized engine vs the seed search.
+
+Times branch-and-bound planning for all 10 catalog queries at paper scale
+(10^9 participants) and writes ``BENCH_planner.json`` so later changes
+have a perf trajectory to compare against.
+
+Two configurations are timed per query:
+
+* ``naive`` — the retained reference engine with catalog choice order,
+  which searches exactly like the seed planner (full prefix
+  re-instantiation per node, no incremental state);
+* ``optimized`` — the incremental engine with cheapest-first ordering,
+  the planner's default.
+
+Protocol: the frontend work (parse, certify, lower) is done once per
+query and excluded; each configuration gets one untimed warmup run (which
+also warms the committee-sizing caches both engines share), then
+``--reps`` timed runs with a fresh :class:`CostModel` (fresh cost cache)
+each, reporting the median. Both engines select byte-identical plans —
+``tests/test_search_equivalence.py`` asserts that — so this measures pure
+search speed.
+
+Usage::
+
+    python benchmarks/bench_planner.py --reps 3 --out BENCH_planner.json
+    python benchmarks/bench_planner.py --smoke   # 1 rep, regression gate
+
+``--smoke`` (used by ``make check``) runs one repetition and fails if any
+query's optimized search got more than 2x slower than the committed
+baseline seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.experiments import PAPER_CONSTRAINTS, PAPER_N  # noqa: E402
+from repro.lang.parser import parse  # noqa: E402
+from repro.lang.simplify import simplify  # noqa: E402
+from repro.planner.costmodel import CostModel, Goal  # noqa: E402
+from repro.planner.ir import lower  # noqa: E402
+from repro.planner.search import Planner  # noqa: E402
+from repro.privacy.certify import certify  # noqa: E402
+from repro.queries.catalog import ALL_QUERIES  # noqa: E402
+
+ENGINES = {
+    "naive": dict(engine="reference", order_choices=False),
+    "optimized": dict(engine="incremental"),
+}
+
+
+def time_query(spec, reps: int):
+    """Median plan_logical seconds per engine, plus the optimized stats."""
+    env = spec.environment(PAPER_N)
+    program = simplify(parse(spec.source))
+    certificate = certify(program, env)
+    logical = lower(program, env, certificate, spec.name)
+    medians = {}
+    stats = None
+    for label, kwargs in ENGINES.items():
+        samples = []
+        for rep in range(reps + 1):  # rep 0 is the untimed warmup
+            model = CostModel()
+            planner = Planner(
+                env,
+                model=model,
+                constraints=PAPER_CONSTRAINTS,
+                goal=Goal("participant_expected_seconds"),
+                **kwargs,
+            )
+            started = time.perf_counter()
+            result = planner.plan_logical(logical, certificate)
+            if rep:
+                samples.append(time.perf_counter() - started)
+        medians[label] = statistics.median(samples)
+        if label == "optimized":
+            stats = result.statistics
+    return medians, stats
+
+
+def run(reps: int):
+    rows = []
+    for spec in ALL_QUERIES:
+        medians, stats = time_query(spec, reps)
+        seconds = medians["optimized"]
+        rows.append(
+            {
+                "query": spec.name,
+                "space_size": stats.space_size,
+                "nodes": stats.prefixes_considered,
+                "seconds": seconds,
+                "cache_hits": stats.cost_cache_hits + stats.expansion_cache_hits,
+                "speedup_vs_naive": medians["naive"] / seconds,
+            }
+        )
+        print(
+            f"{spec.name:12s} naive {medians['naive'] * 1000:8.1f} ms  "
+            f"optimized {seconds * 1000:8.1f} ms  "
+            f"{rows[-1]['speedup_vs_naive']:5.2f}x  "
+            f"nodes={stats.prefixes_considered}"
+        )
+    return rows
+
+
+def smoke(baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run 'make bench-planner' first")
+        return 1
+    baseline = {
+        row["query"]: row
+        for row in json.loads(baseline_path.read_text())["queries"]
+    }
+    rows = run(reps=1)
+    failures = []
+    for row in rows:
+        base = baseline.get(row["query"])
+        if base is None:
+            continue
+        if row["seconds"] > 2.0 * base["seconds"]:
+            failures.append(
+                f"{row['query']}: {row['seconds'] * 1000:.1f} ms vs baseline "
+                f"{base['seconds'] * 1000:.1f} ms (> 2x regression)"
+            )
+    if failures:
+        print("planner benchmark regression:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("planner smoke benchmark within 2x of committed baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3, help="timed repetitions")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_planner.json"),
+        help="output path for the benchmark JSON",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="1 repetition; fail if any query regresses >2x vs --out baseline",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke(Path(args.out))
+    rows = run(args.reps)
+    speedups = sorted(row["speedup_vs_naive"] for row in rows)
+    payload = {
+        "benchmark": "planner-search",
+        "num_participants": PAPER_N,
+        "reps": args.reps,
+        "median_speedup_vs_naive": statistics.median(speedups),
+        "queries": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"median speedup vs naive: {payload['median_speedup_vs_naive']:.2f}x "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

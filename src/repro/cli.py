@@ -95,7 +95,12 @@ def _print_cost(cost: CostVector) -> None:
 def cmd_plan(args) -> int:
     source = _read_query(args)
     env = _environment(args)
-    planner = Planner(env, constraints=_constraints(args), goal=Goal(args.goal))
+    planner = Planner(
+        env,
+        constraints=_constraints(args),
+        goal=Goal(args.goal),
+        workers=args.workers,
+    )
     try:
         result = planner.plan_source(source, name=args.query_file)
     except PlanningFailed as failure:
@@ -121,6 +126,23 @@ def cmd_plan(args) -> int:
         f"{stats.candidates_scored} candidates, "
         f"{stats.runtime_seconds * 1000:.0f} ms"
     )
+    if args.stats:
+        print(
+            f"  search space: {stats.space_size} candidates; "
+            f"{stats.candidates_feasible} feasible, "
+            f"{stats.pruned_by_constraint} pruned by constraints, "
+            f"{stats.pruned_by_bound} pruned by bound"
+        )
+        print(
+            f"  cost cache: {stats.cost_cache_hits} hits / "
+            f"{stats.cost_cache_misses} misses; "
+            f"expansion cache: {stats.expansion_cache_hits} hits / "
+            f"{stats.expansion_cache_misses} misses"
+        )
+        print(
+            f"  ordering: {stats.nodes_reordered} nodes reordered; "
+            f"workers: {stats.workers}"
+        )
     return 0
 
 
@@ -247,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--explain", action="store_true",
         help="print a per-vignette cost table for the chosen plan",
+    )
+    plan.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the branch-and-bound root split",
+    )
+    plan.add_argument(
+        "--stats", action="store_true",
+        help="print search-effort, cache, and ordering counters",
     )
     plan.set_defaults(func=cmd_plan)
 

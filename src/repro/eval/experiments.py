@@ -354,6 +354,8 @@ class PlannerRuntimeRow:
     prefixes_considered: int
     candidates_scored: int
     space_size: int
+    cost_cache_hits: int = 0
+    expansion_cache_hits: int = 0
 
 
 def fig9() -> List[PlannerRuntimeRow]:
@@ -368,6 +370,8 @@ def fig9() -> List[PlannerRuntimeRow]:
                 stats.prefixes_considered,
                 stats.candidates_scored,
                 stats.space_size,
+                stats.cost_cache_hits,
+                stats.expansion_cache_hits,
             )
         )
     return rows
@@ -487,7 +491,7 @@ def print_fig9() -> None:
         print(
             f"{r.query:10s} {r.runtime_seconds * 1000:9.1f} ms  "
             f"prefixes={r.prefixes_considered:6d} candidates={r.candidates_scored:5d} "
-            f"space={r.space_size:7d}"
+            f"space={r.space_size:7d} cache_hits={r.cost_cache_hits:6d}"
         )
 
 

@@ -81,7 +81,16 @@ def committee_failure_probability(
     return -math.expm1(num_committees * math.log1p(-p_bad_single))
 
 
-@lru_cache(maxsize=4096)
+#: Monotonicity hints for the m-search: per sizing configuration, a map from
+#: a previously computed m to the [min, max] committee counts that produced
+#: it. m is nondecreasing in the committee count (more committees -> more
+#: chances to lose an honest majority), so a count below the query's bounds
+#: m from below and a count above bounds it from above; when the two bounds
+#: meet, the linear scan is skipped entirely.
+_SIZE_HINTS: dict = {}
+
+
+@lru_cache(maxsize=16384)
 def minimum_committee_size(
     num_committees: int,
     malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
@@ -98,13 +107,28 @@ def minimum_committee_size(
         if per_round_budget is not None
         else per_round_failure_budget(total_failure_probability, rounds)
     )
-    m = 3
-    while committee_failure_probability(
-        m, num_committees, malicious_fraction, churn_tolerance
-    ) > p1:
-        m += 1
-        if m > 10000:
-            raise RuntimeError("committee size search diverged")
+    config = (malicious_fraction, churn_tolerance, p1)
+    hints = _SIZE_HINTS.setdefault(config, {})
+    lo, hi = 3, None
+    for known_m, (count_lo, count_hi) in hints.items():
+        if count_lo <= num_committees and known_m > lo:
+            lo = known_m
+        if count_hi >= num_committees and (hi is None or known_m < hi):
+            hi = known_m
+    if hi is not None and lo >= hi:
+        # Bracketed exactly between previously computed counts.
+        m = lo
+    else:
+        m = lo
+        while committee_failure_probability(
+            m, num_committees, malicious_fraction, churn_tolerance
+        ) > p1:
+            m += 1
+            if m > 10000:
+                raise RuntimeError("committee size search diverged")
+    entry = hints.setdefault(m, [num_committees, num_committees])
+    entry[0] = min(entry[0], num_committees)
+    entry[1] = max(entry[1], num_committees)
     return m
 
 
@@ -127,11 +151,15 @@ class CommitteeParameters:
         total_failure_probability: float = DEFAULT_FAILURE_PROBABILITY,
         rounds: int = DEFAULT_ROUNDS,
     ) -> "CommitteeParameters":
-        p1 = per_round_failure_budget(total_failure_probability, rounds)
-        m = minimum_committee_size(
-            num_committees, malicious_fraction, churn_tolerance, p1
+        # Frozen + deterministic, so instances are shared via the lru cache
+        # (the planner calls this once per search node).
+        return _parameters_cached(
+            num_committees,
+            malicious_fraction,
+            churn_tolerance,
+            total_failure_probability,
+            rounds,
         )
-        return cls(num_committees, m, malicious_fraction, churn_tolerance, p1)
 
     @property
     def devices_selected(self) -> int:
@@ -144,3 +172,27 @@ class CommitteeParameters:
     def honest_quorum(self) -> int:
         """Online members guaranteed to include an honest majority."""
         return int(math.ceil((1.0 - self.churn_tolerance) * self.committee_size))
+
+
+@lru_cache(maxsize=16384)
+def _parameters_cached(
+    num_committees: int,
+    malicious_fraction: float,
+    churn_tolerance: float,
+    total_failure_probability: float,
+    rounds: int,
+) -> CommitteeParameters:
+    p1 = per_round_failure_budget(total_failure_probability, rounds)
+    m = minimum_committee_size(
+        num_committees, malicious_fraction, churn_tolerance, p1
+    )
+    return CommitteeParameters(
+        num_committees, m, malicious_fraction, churn_tolerance, p1
+    )
+
+
+def clear_sizing_caches() -> None:
+    """Reset sizing memoization (benchmark fairness between engines)."""
+    minimum_committee_size.cache_clear()
+    _parameters_cached.cache_clear()
+    _SIZE_HINTS.clear()

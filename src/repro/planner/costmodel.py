@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 # --------------------------------------------------------------------------
@@ -28,7 +28,7 @@ from typing import Dict, Optional
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostVector:
     """The six cost metrics the analyst can constrain and optimize (§4.2).
 
@@ -36,6 +36,9 @@ class CostVector:
     Participant costs come in expected (averaged over all devices, including
     the low probability of committee service) and maximum (a device that is
     actually selected for the most expensive committee) flavours.
+
+    The planner allocates one of these per search node, so the class uses
+    ``slots`` to keep instances dict-free.
     """
 
     aggregator_core_seconds: float = 0.0
@@ -249,6 +252,31 @@ class Work:
         merged.ring_slots = max(self.ring_slots, other.ring_slots)
         return merged
 
+    def cache_key(self) -> int:
+        """An interned value token for cost memoization.
+
+        The field values are hashed once per Work instance and interned to a
+        small integer, so structurally equal Work objects share one token
+        (and thus one cached cost entry) while the per-score cache lookup
+        hashes an ``(int, int)`` pair instead of a ~25-float tuple. The
+        planner treats Work objects as immutable once emitted, so the token
+        never goes stale there; callers that mutate a Work after keying must
+        not reuse it.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            values = tuple(getattr(self, name) for name in _WORK_FIELD_NAMES)
+            table = _WORK_KEY_INTERN
+            key = table.get(values)
+            if key is None:
+                key = table[values] = len(table)
+            self.__dict__["_cache_key"] = key
+        return key
+
+
+_WORK_FIELD_NAMES = tuple(f.name for f in fields(Work))
+_WORK_KEY_INTERN: Dict[tuple, int] = {}
+
 
 # --------------------------------------------------------------------------
 # Ciphertext geometry
@@ -383,73 +411,108 @@ class CostModel:
             if unknown:
                 raise KeyError(f"unknown cost constants: {sorted(unknown)}")
             self.constants.update(constants)
+        # Memoized (seconds, sent, received) per (work, committee size); the
+        # planner scores the same emitted vignette at thousands of search
+        # nodes, so the hit rate is very high. Counters are surfaced in
+        # PlannerStatistics (`repro plan --stats`).
+        self.cost_cache: Dict[tuple, Tuple[float, float, float]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------- plumbing
+
+    def cached_costs(self, work: Work, committee_size: int = 1) -> Tuple[float, float, float]:
+        """Memoized ``(compute_seconds, traffic_bytes, received_bytes)``.
+
+        Returns exactly the values the three underlying methods would — the
+        cache only avoids recomputation, never changes a float — so callers
+        that need bit-identical scores across cached/uncached paths can rely
+        on it.
+        """
+        key = (work.cache_key(), committee_size)
+        cached = self.cost_cache.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            cached = (
+                self.compute_seconds(work, committee_size),
+                self.traffic_bytes(work, committee_size),
+                self.received_bytes(work, committee_size),
+            )
+            self.cost_cache[key] = cached
+        else:
+            self.cache_hits += 1
+        return cached
+
+    def clear_cost_cache(self) -> None:
+        """Drop memoized costs and counters (used by benchmark fairness)."""
+        self.cost_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _c(self, name: str) -> float:
         return self.constants[name]
 
     def compute_seconds(self, work: Work, committee_size: int = 1) -> float:
         """Reference-core seconds for one entity instance's work."""
-        c = self._c
+        c = self.constants
         slots = max(work.ring_slots, 1.0)
         seconds = work.fixed_seconds
-        seconds += work.he_encryptions * slots * c("he_encrypt_per_slot")
-        seconds += work.he_additions * slots * c("he_add_per_slot")
-        seconds += work.he_plain_mults * slots * c("he_plain_mult_per_slot")
-        seconds += work.he_ct_mults * slots * c("he_ct_mult_per_slot")
-        seconds += work.he_rotations * slots * c("he_rotate_per_slot")
-        seconds += work.he_comparisons * slots * c("he_compare_per_slot")
-        seconds += work.he_exponentiations * slots * c("he_exp_per_slot")
-        seconds += work.tfhe_gates * c("tfhe_gate_seconds")
-        seconds += work.tfhe_encryptions * c("tfhe_encrypt_seconds")
+        seconds += work.he_encryptions * slots * c["he_encrypt_per_slot"]
+        seconds += work.he_additions * slots * c["he_add_per_slot"]
+        seconds += work.he_plain_mults * slots * c["he_plain_mult_per_slot"]
+        seconds += work.he_ct_mults * slots * c["he_ct_mult_per_slot"]
+        seconds += work.he_rotations * slots * c["he_rotate_per_slot"]
+        seconds += work.he_comparisons * slots * c["he_compare_per_slot"]
+        seconds += work.he_exponentiations * slots * c["he_exp_per_slot"]
+        seconds += work.tfhe_gates * c["tfhe_gate_seconds"]
+        seconds += work.tfhe_encryptions * c["tfhe_encrypt_seconds"]
         seconds += work.zkp_proofs * (
-            c("zkp_prove_base") + work.zkp_constraint_slots * c("zkp_prove_per_slot")
+            c["zkp_prove_base"] + work.zkp_constraint_slots * c["zkp_prove_per_slot"]
         )
-        seconds += work.zkp_verifications * c("zkp_verify")
-        seconds += work.hash_bytes * c("hash_per_byte")
+        seconds += work.zkp_verifications * c["zkp_verify"]
+        seconds += work.hash_bytes * c["hash_per_byte"]
         # MPC: triples cover offline+online compute; rounds add latency.
         triples = work.mpc_triples
-        triples += work.mpc_comparisons * c("mpc_comparison_triples")
-        triples += work.mpc_noise_samples * c("mpc_noise_triples")
-        seconds += work.mpc_setup * c("mpc_setup_seconds")
-        seconds += triples * c("mpc_triple_seconds")
+        triples += work.mpc_comparisons * c["mpc_comparison_triples"]
+        triples += work.mpc_noise_samples * c["mpc_noise_triples"]
+        seconds += work.mpc_setup * c["mpc_setup_seconds"]
+        seconds += triples * c["mpc_triple_seconds"]
         rounds = work.mpc_rounds
-        rounds += work.mpc_comparisons * c("mpc_comparison_rounds")
-        rounds += work.mpc_noise_samples * c("mpc_noise_rounds")
-        seconds += rounds * c("mpc_round_latency")
-        seconds += work.dist_decryptions * slots * c("dist_decrypt_seconds_per_slot")
-        seconds += work.dist_keygens * committee_size * c("keygen_seconds_per_peer")
+        rounds += work.mpc_comparisons * c["mpc_comparison_rounds"]
+        rounds += work.mpc_noise_samples * c["mpc_noise_rounds"]
+        seconds += rounds * c["mpc_round_latency"]
+        seconds += work.dist_decryptions * slots * c["dist_decrypt_seconds_per_slot"]
+        seconds += work.dist_keygens * committee_size * c["keygen_seconds_per_peer"]
         seconds += (
             (work.vsr_elements_sent + work.vsr_elements_received)
-            * c("vsr_seconds_per_element")
+            * c["vsr_seconds_per_element"]
         )
         return seconds
 
     def traffic_bytes(self, work: Work, committee_size: int = 1) -> float:
         """Bytes sent by one entity instance for its work."""
-        c = self._c
+        c = self.constants
         peers = max(committee_size - 1, 0)
         bytes_sent = work.payload_bytes_sent
         triples = work.mpc_triples
-        triples += work.mpc_comparisons * c("mpc_comparison_triples")
-        triples += work.mpc_noise_samples * c("mpc_noise_triples")
-        bytes_sent += work.mpc_setup * peers * c("mpc_setup_bytes_per_peer")
-        bytes_sent += triples * peers * c("mpc_triple_bytes_per_peer")
-        bytes_sent += work.mpc_inputs * peers * c("mpc_input_bytes_per_peer")
-        bytes_sent += work.dist_keygens * peers * c("keygen_bytes_per_peer")
+        triples += work.mpc_comparisons * c["mpc_comparison_triples"]
+        triples += work.mpc_noise_samples * c["mpc_noise_triples"]
+        bytes_sent += work.mpc_setup * peers * c["mpc_setup_bytes_per_peer"]
+        bytes_sent += triples * peers * c["mpc_triple_bytes_per_peer"]
+        bytes_sent += work.mpc_inputs * peers * c["mpc_input_bytes_per_peer"]
+        bytes_sent += work.dist_keygens * peers * c["keygen_bytes_per_peer"]
         bytes_sent += (
-            work.vsr_elements_sent * committee_size * c("vsr_bytes_per_element")
+            work.vsr_elements_sent * committee_size * c["vsr_bytes_per_element"]
         )
-        bytes_sent += work.zkp_proofs * c("zkp_proof_bytes")
+        bytes_sent += work.zkp_proofs * c["zkp_proof_bytes"]
         return bytes_sent
 
     def received_bytes(self, work: Work, committee_size: int = 1) -> float:
         """Bytes received (relevant for the aggregator-forwarding metric)."""
-        c = self._c
+        c = self.constants
         received = work.payload_bytes_received
-        received += work.vsr_elements_received * committee_size * c(
-            "vsr_bytes_per_element"
+        received += (
+            work.vsr_elements_received * committee_size * c["vsr_bytes_per_element"]
         )
         return received
 

@@ -26,8 +26,11 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .committees import CommitteeParameters
 from .costmodel import (
     CostModel,
+    DeviceProfile,
+    REFERENCE_SERVER,
     SchemeParams,
     Work,
     ahe_params_for,
@@ -44,7 +47,7 @@ from .ir import (
     SelectMax,
     VectorTransform,
 )
-from .plan import Location, Vignette
+from .plan import Location, ScoreAccumulator, Vignette
 
 #: Parameter grids (§4.3: "there is no single best degree for this tree").
 TREE_FANOUTS = (4, 16, 64, 256, 1024, 4096)
@@ -178,43 +181,30 @@ def _ceil_div(a: float, b: float) -> int:
     return int(math.ceil(a / b)) if b else 0
 
 
-def instantiate(
-    plan: LogicalPlan,
-    choices: Sequence[Choice],
-    model: CostModel,
-    partial: bool = False,
-) -> Tuple[List[Vignette], SchemeParams]:
-    """Build the vignette sequence for one (possibly partial) assignment.
+def _scheme_for_prefix(
+    row_width: int, ops: Sequence[LogicalOp], choices: Sequence[Choice]
+) -> Tuple[int, bool, SchemeParams, int, int]:
+    """Scheme selection (§4.5) for a (possibly partial) choice prefix.
 
-    With ``partial=True``, only the ops covered by ``choices`` are emitted
-    (plus the always-present input/verify/broadcast base), yielding a
-    monotone lower bound used by branch-and-bound.
+    Returns (bins, use_fhe, scheme, packed, cts). Both inputs are monotone
+    along a prefix: ``bins`` is fixed by the EncryptInput choice and
+    ``use_fhe`` only ever flips from False to True.
     """
-    ops = plan.ops[: len(choices)] if partial else plan.ops
-    if not partial and len(choices) != len(plan.ops):
-        raise ExpansionError("need one choice per logical op")
-
-    env = plan.env
-    n = env.num_participants
-    c = env.row_width
-
-    # Scheme selection (§4.5): decide from the full assignment when
-    # available; partial prefixes assume AHE unless already forced.
     bins = 1
     for op, choice in zip(ops, choices):
         if isinstance(op, EncryptInput) and choice.option == "binned_upload":
             bins = choice.params[0]
-    packed = max(c, 1) * bins
+    packed = max(row_width, 1) * bins
     use_fhe = _needs_fhe(ops, choices)
     scheme = fhe_params_for(packed, depth=6) if use_fhe else ahe_params_for(packed)
     cts = max(1, _ceil_div(packed, scheme.slots))
+    return bins, use_fhe, scheme, packed, cts
 
-    state = _BuildState(scheme=scheme, cts_per_participant=cts)
-    constants = model.constants
-    vignettes: List[Vignette] = []
 
-    # ---------------------------------------------------------------- base
-
+def _base_vignettes(
+    scheme: SchemeParams, packed: int, cts: int, n: int, constants: dict
+) -> List[Vignette]:
+    """The always-present input/verify/broadcast base vignettes."""
     audit_leaves = constants["audit_leaves_per_device"]
     audit_bytes = audit_leaves * (scheme.ciphertext_bytes + constants["merkle_path_bytes"])
     # One Groth16 proof covers one circuit chunk. The R1CS encodes the
@@ -224,6 +214,7 @@ def instantiate(
     chunk = constants["zkp_chunk_slots"]
     modulus_scale = max(1.0, scheme.ciphertext_modulus_bits / 60.0)
     proofs_per_device = max(1, _ceil_div(packed * modulus_scale, chunk))
+    vignettes: List[Vignette] = []
     input_work = Work(
         he_encryptions=cts,
         ring_slots=scheme.slots,
@@ -255,64 +246,107 @@ def instantiate(
         )
     )
     vignettes.append(Vignette("forwarding", Location.AGGREGATOR, "clear", broadcast_work))
+    return vignettes
 
-    # ------------------------------------------------------------ pipeline
 
-    for op, choice in zip(ops, choices):
-        if isinstance(op, EncryptInput):
-            state.encrypted = True
-            continue
-        if isinstance(op, Aggregate):
-            _emit_aggregate(vignettes, state, choice, n, cts)
-        elif isinstance(op, VectorTransform):
-            _emit_transform(vignettes, state, choice, op)
-        elif isinstance(op, SelectMax):
-            _emit_select_max(vignettes, state, choice, op)
-        elif isinstance(op, NoiseOutput):
-            _emit_noise_output(vignettes, state, choice, op)
-        elif isinstance(op, Postprocess):
-            vignettes.append(
-                Vignette(
-                    "postprocess",
-                    Location.AGGREGATOR,
-                    "clear",
-                    Work(fixed_seconds=op.scalar_ops * 1e-8),
-                )
+def _emit_pipeline_op(
+    vignettes: List[Vignette],
+    state: _BuildState,
+    op: LogicalOp,
+    choice: Choice,
+    n: int,
+) -> None:
+    """Emit one pipeline op's vignettes, advancing the build state."""
+    if isinstance(op, EncryptInput):
+        state.encrypted = True
+    elif isinstance(op, Aggregate):
+        _emit_aggregate(vignettes, state, choice, n, state.cts_per_participant)
+    elif isinstance(op, VectorTransform):
+        _emit_transform(vignettes, state, choice, op)
+    elif isinstance(op, SelectMax):
+        _emit_select_max(vignettes, state, choice, op)
+    elif isinstance(op, NoiseOutput):
+        _emit_noise_output(vignettes, state, choice, op)
+    elif isinstance(op, Postprocess):
+        vignettes.append(
+            Vignette(
+                "postprocess",
+                Location.AGGREGATOR,
+                "clear",
+                Work(fixed_seconds=op.scalar_ops * 1e-8),
             )
-        elif isinstance(op, Output):
-            vignettes.append(
-                Vignette(
-                    "publish",
-                    Location.AGGREGATOR,
-                    "clear",
-                    Work(payload_bytes_sent=4096.0),
-                )
+        )
+    elif isinstance(op, Output):
+        vignettes.append(
+            Vignette(
+                "publish",
+                Location.AGGREGATOR,
+                "clear",
+                Work(payload_bytes_sent=4096.0),
             )
+        )
 
-    # ---------------------------------------------------------- key vignette
 
-    # One keygen committee generates the keypair and starts the VSR tree
-    # that carries key shares to every decryption-capable committee (§5.2).
+def _keygen_vignette(scheme: SchemeParams, dec_groups) -> Vignette:
+    """The key-generation vignette (§5.2).
+
+    One keygen committee generates the keypair and starts the VSR tree
+    that carries key shares to every decryption-capable committee. The
+    work depends on ``dec_groups`` only through the binary-tree multiplier
+    ``min(2, max(dec_groups, 1))`` — i.e. only on whether the plan has
+    more than one decryption group.
+    """
     key_elems = scheme.secret_key_elements
     keygen_work = Work(
         dist_keygens=1.0,
         mpc_setup=1.0,
         mpc_rounds=20.0,
-        vsr_elements_sent=key_elems * min(2.0, max(state.dec_groups, 1.0)),
+        vsr_elements_sent=key_elems * min(2.0, max(dec_groups, 1.0)),
         ring_slots=scheme.slots,
     )
-    vignettes.insert(
-        1,
-        Vignette(
-            "keygen",
-            Location.COMMITTEE,
-            "mpc",
-            keygen_work,
-            instances=1.0,
-            committee_group="keygen",
-            committee_type="keygen",
-        ),
+    return Vignette(
+        "keygen",
+        Location.COMMITTEE,
+        "mpc",
+        keygen_work,
+        instances=1.0,
+        committee_group="keygen",
+        committee_type="keygen",
     )
+
+
+def instantiate(
+    plan: LogicalPlan,
+    choices: Sequence[Choice],
+    model: CostModel,
+    partial: bool = False,
+) -> Tuple[List[Vignette], SchemeParams]:
+    """Build the vignette sequence for one (possibly partial) assignment.
+
+    With ``partial=True``, only the ops covered by ``choices`` are emitted
+    (plus the always-present input/verify/broadcast base), yielding a
+    monotone lower bound used by branch-and-bound.
+    """
+    ops = plan.ops[: len(choices)] if partial else plan.ops
+    if not partial and len(choices) != len(plan.ops):
+        raise ExpansionError("need one choice per logical op")
+
+    env = plan.env
+    n = env.num_participants
+
+    # Scheme selection (§4.5): decide from the full assignment when
+    # available; partial prefixes assume AHE unless already forced.
+    _bins, _use_fhe, scheme, packed, cts = _scheme_for_prefix(
+        env.row_width, ops, choices
+    )
+
+    state = _BuildState(scheme=scheme, cts_per_participant=cts)
+    vignettes = _base_vignettes(scheme, packed, cts, n, model.constants)
+
+    for op, choice in zip(ops, choices):
+        _emit_pipeline_op(vignettes, state, op, choice, n)
+
+    vignettes.insert(1, _keygen_vignette(scheme, state.dec_groups))
     return vignettes, scheme
 
 
@@ -726,3 +760,361 @@ def _emit_noise_output(
             committee_type="operations",
         )
     )
+
+
+# --------------------------------------------------------------------------
+# Incremental prefix expansion (branch-and-bound fast path)
+# --------------------------------------------------------------------------
+
+
+class ExpansionNode:
+    """One search node: a choice prefix plus everything needed to extend
+    or score it without re-instantiating from scratch.
+
+    ``vignettes`` holds the base + emitted pipeline vignettes *without*
+    the keygen vignette (whose work depends on the still-growing number of
+    decryption groups); scoring folds a per-bucket keygen in at index 1,
+    exactly where :func:`instantiate` inserts it.
+    """
+
+    __slots__ = (
+        "depth",
+        "choices",
+        "bins",
+        "use_fhe",
+        "scheme",
+        "cts",
+        "encrypted",
+        "shared",
+        "dec_groups",
+        "group_counter",
+        "fused",
+        "vignettes",
+        "count_groups",
+        "params",
+        "bucket",
+        "accum",
+        "parent",
+        "segment",
+        "_cost",
+        "refolds",
+    )
+
+    def __init__(
+        self,
+        depth,
+        choices,
+        bins,
+        use_fhe,
+        scheme,
+        cts,
+        encrypted,
+        shared,
+        dec_groups,
+        group_counter,
+        fused,
+        vignettes,
+        count_groups,
+        params,
+        bucket,
+        accum,
+        parent=None,
+        segment=None,
+    ):
+        self.depth = depth
+        self.choices = choices
+        self.bins = bins
+        self.use_fhe = use_fhe
+        self.scheme = scheme
+        self.cts = cts
+        self.encrypted = encrypted
+        self.shared = shared
+        self.dec_groups = dec_groups
+        self.group_counter = group_counter
+        self.fused = fused
+        self.vignettes = vignettes
+        self.count_groups = count_groups
+        self.params = params
+        self.bucket = bucket
+        self.accum = accum
+        self.parent = parent
+        self.segment = segment
+        self._cost = None
+        self.refolds = None
+
+    @property
+    def cost(self):
+        cost = self._cost
+        if cost is None:
+            cost = self._cost = self.accum.cost()
+        return cost
+
+
+class PrefixExpander:
+    """Resumable instantiation: extend a parent node by one op's choice.
+
+    Produces bit-identical vignettes and scores to running
+    :func:`instantiate` + :func:`score_vignettes` on the full prefix,
+    but with O(1) amortized work per node:
+
+    * per-(op, choice, entry-state) emissions are cached — the entry state
+      is ``(bins, use_fhe, encrypted, shared, group_counter, fused)``, the
+      only fields emitters read (group names embed ``group_counter``);
+    * the running :class:`ScoreAccumulator` is extended by the new
+      segment only; when the committee size m or the keygen-work bucket
+      changes, the full sequence is re-folded from the stored vignettes;
+    * the two scheme-selection inputs (``bins``, ``use_fhe``) are monotone
+      along a prefix, so a choice that flips them rebuilds the prefix
+      once from a cached per-scheme root by replaying the recorded
+      choices (each replay step usually hits the emission cache).
+
+    Expansion failures are cached too: an illegal (op, choice, state)
+    combination raises the same :class:`ExpansionError` on every repeat.
+    """
+
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        model: CostModel,
+        device: DeviceProfile = REFERENCE_SERVER,
+    ):
+        self.plan = plan
+        self.model = model
+        self.device = device
+        self.n = plan.env.num_participants
+        self.ops = plan.ops
+        self._roots = {}
+        self._keygens = {}
+        self._segments = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------- roots
+
+    def root(self) -> ExpansionNode:
+        return self._root(1, False)
+
+    def _root(self, bins: int, use_fhe: bool) -> ExpansionNode:
+        node = self._roots.get((bins, use_fhe))
+        if node is not None:
+            return node
+        packed = max(self.plan.env.row_width, 1) * bins
+        scheme = (
+            fhe_params_for(packed, depth=6) if use_fhe else ahe_params_for(packed)
+        )
+        cts = max(1, _ceil_div(packed, scheme.slots))
+        base = _base_vignettes(scheme, packed, cts, self.n, self.model.constants)
+        keygen = _keygen_vignette(scheme, 1)
+        params = CommitteeParameters.for_plan(1)
+        accum = ScoreAccumulator(
+            self.n, self.model, self.device, params.committee_size
+        )
+        accum.add(base[0])
+        accum.add(keygen)
+        for v in base[1:]:
+            accum.add(v)
+        node = ExpansionNode(
+            depth=0,
+            choices=(),
+            bins=bins,
+            use_fhe=use_fhe,
+            scheme=scheme,
+            cts=cts,
+            encrypted=False,
+            shared=False,
+            dec_groups=0,
+            group_counter=0,
+            fused=None,
+            vignettes=tuple(base),
+            count_groups={"keygen": 1.0},
+            params=params,
+            bucket=1,
+            accum=accum,
+        )
+        self._roots[(bins, use_fhe)] = node
+        self._keygens[(bins, use_fhe, 1)] = keygen
+        return node
+
+    def _keygen(self, bins: int, use_fhe: bool, bucket: int) -> Vignette:
+        key = (bins, use_fhe, bucket)
+        v = self._keygens.get(key)
+        if v is None:
+            scheme = self._root(bins, use_fhe).scheme
+            v = self._keygens[key] = _keygen_vignette(scheme, bucket)
+        return v
+
+    # --------------------------------------------------------- extension
+
+    def extend(self, node: ExpansionNode, choice: Choice) -> ExpansionNode:
+        """The child node for ``choice`` at ``node``'s next op.
+
+        Raises :class:`ExpansionError` if the choice is structurally
+        illegal in the node's state (same condition as ``instantiate`` on
+        the full prefix).
+        """
+        op = self.ops[node.depth]
+        bins, use_fhe = node.bins, node.use_fhe
+        if isinstance(op, EncryptInput):
+            if choice.option == "binned_upload":
+                bins = choice.params[0]
+        elif isinstance(op, VectorTransform):
+            if choice.option == "aggregator_fhe":
+                use_fhe = True
+        elif isinstance(op, SelectMax):
+            if choice.option == "expo_fhe":
+                use_fhe = True
+        if bins != node.bins or use_fhe != node.use_fhe:
+            # Scheme flip: every prior vignette changes (ciphertext sizes,
+            # slot counts), so rebuild the prefix under the new scheme by
+            # replaying the recorded choices from the cached new root.
+            replacement = self._root(bins, use_fhe)
+            for prior in node.choices:
+                replacement = self._extend(replacement, prior)
+            node = replacement
+        return self._extend(node, choice)
+
+    def _extend(self, node: ExpansionNode, choice: Choice) -> ExpansionNode:
+        key = (
+            node.depth,
+            choice,
+            node.bins,
+            node.use_fhe,
+            node.encrypted,
+            node.shared,
+            node.group_counter,
+            node.fused,
+        )
+        entry = self._segments.get(key)
+        if entry is None:
+            self.cache_misses += 1
+            state = _BuildState(
+                scheme=node.scheme,
+                cts_per_participant=node.cts,
+                encrypted=node.encrypted,
+                shared=node.shared,
+                dec_groups=0,
+                group_counter=node.group_counter,
+                fused_transform=node.fused,
+            )
+            segment: List[Vignette] = []
+            try:
+                _emit_pipeline_op(segment, state, self.ops[node.depth], choice, self.n)
+            except ExpansionError as exc:
+                self._segments[key] = (None, exc)
+                raise
+            seg_groups = tuple(
+                (v.committee_group, v.instances)
+                for v in segment
+                if v.location is Location.COMMITTEE
+            )
+            entry = (
+                (
+                    tuple(segment),
+                    state.encrypted,
+                    state.shared,
+                    state.dec_groups,  # delta: emitters only increment it
+                    state.group_counter,
+                    state.fused_transform,
+                    seg_groups,
+                ),
+                None,
+            )
+            self._segments[key] = entry
+        else:
+            self.cache_hits += 1
+            if entry[1] is not None:
+                raise entry[1]
+        (
+            segment,
+            encrypted,
+            shared,
+            dec_delta,
+            group_counter,
+            fused,
+            seg_groups,
+        ) = entry[0]
+
+        dec_groups = node.dec_groups + dec_delta
+        bucket = 1 if dec_groups <= 1 else 2
+        count_groups = node.count_groups
+        if seg_groups:
+            count_groups = dict(count_groups)
+            for group, instances in seg_groups:
+                if instances > count_groups.get(group, 0.0):
+                    count_groups[group] = instances
+        # Mirrors count_committees + CommitteeParameters.for_plan on the
+        # child's full vignette list (keygen included via the root).
+        params = CommitteeParameters.for_plan(
+            max(int(sum(count_groups.values())), 1)
+        )
+        m = params.committee_size
+        accum = self._node_fold(node, m, bucket).extended(segment)
+        return ExpansionNode(
+            depth=node.depth + 1,
+            choices=node.choices + (choice,),
+            bins=node.bins,
+            use_fhe=node.use_fhe,
+            scheme=node.scheme,
+            cts=node.cts,
+            encrypted=encrypted,
+            shared=shared,
+            dec_groups=dec_groups,
+            group_counter=group_counter,
+            fused=fused,
+            vignettes=node.vignettes + segment,
+            count_groups=count_groups,
+            params=params,
+            bucket=bucket,
+            accum=accum,
+            parent=node,
+            segment=segment,
+        )
+
+    def _node_fold(self, node, m: int, bucket: int) -> ScoreAccumulator:
+        """``node``'s full prefix fold at committee size ``m`` with the
+        ``bucket`` keygen vignette at index 1.
+
+        When (m, bucket) match the node's own accumulator this is free;
+        otherwise the fold is built from the parent's fold at the same
+        (m, bucket) plus the node's segment — so a committee-size change
+        costs one segment fold per ancestor on first use, and the results
+        are memoized per node for every sibling and descendant after that.
+        Fold order is exactly score_vignettes order at every step, which
+        keeps the float sums bit-identical to a from-scratch fold.
+        """
+        accum = node.accum
+        if m == accum.m and bucket == node.bucket:
+            return accum
+        refolds = node.refolds
+        if refolds is not None:
+            cached = refolds.get((m, bucket))
+            if cached is not None:
+                return cached
+        parent = node.parent
+        if parent is None:
+            fold = ScoreAccumulator(self.n, self.model, self.device, m)
+            vignettes = node.vignettes
+            fold.add(vignettes[0])
+            fold.add(self._keygen(node.bins, node.use_fhe, bucket))
+            for v in vignettes[1:]:
+                fold.add(v)
+        else:
+            fold = self._node_fold(parent, m, bucket).extended(node.segment)
+        if refolds is None:
+            refolds = node.refolds = {}
+        refolds[(m, bucket)] = fold
+        return fold
+
+    # -------------------------------------------------------------- leaves
+
+    def leaf_vignettes(self, node: ExpansionNode) -> List[Vignette]:
+        """The full vignette list for a complete prefix, matching
+        ``instantiate(plan, node.choices, model)`` byte for byte."""
+        vignettes = list(node.vignettes)
+        vignettes.insert(1, _keygen_vignette(node.scheme, node.dec_groups))
+        return vignettes
+
+    def leaf_score(self, node: ExpansionNode):
+        """The PlanScore for a complete prefix (no rescoring needed: the
+        node's accumulator already folded every vignette)."""
+        return node.accum.finish(node.params)

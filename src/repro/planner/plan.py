@@ -182,6 +182,235 @@ def count_committees(vignettes: List[Vignette]) -> float:
     return sum(groups.values())
 
 
+def _score_stub(v: Vignette) -> tuple:
+    """Precomputed scoring inputs for one vignette (stashed on it).
+
+    ``(kind, cost-cache token, instances, breakdown/group label,
+    committee type, mailbox payload bytes)`` — everything
+    :meth:`ScoreAccumulator.add` needs without touching the vignette's
+    attributes again. Vignettes are shared across thousands of folds via
+    the expander's emission caches, so this pays for itself immediately.
+    """
+    location = v.location
+    if location is Location.COMMITTEE:
+        return (
+            2,
+            v.work.cache_key(),
+            v.instances,
+            v.committee_group,
+            v.committee_type or "operations",
+            v.work.payload_bytes_sent,
+        )
+    if location is Location.AGGREGATOR:
+        return (0, v.work.cache_key(), v.instances, v.name, None, 0.0)
+    return (1, v.work.cache_key(), v.instances, f"participant:{v.name}", None, 0.0)
+
+
+class ScoreAccumulator:
+    """Left-fold scoring state over a vignette sequence.
+
+    This is the incremental core of :func:`score_vignettes`: folding
+    vignettes one at a time (in list order, at a fixed committee size m)
+    produces *bit-identical* sums to scoring the whole sequence at once,
+    because float left-folds compose — ``fold(xs + ys)`` equals
+    ``fold(fold(xs), ys)``. The branch-and-bound search exploits this by
+    keeping one accumulator per search node and extending it with the new
+    op's vignettes only; when the committee size (or the keygen work)
+    changes, the search re-folds the full sequence instead.
+
+    Per-vignette (seconds, sent, received) come from
+    :meth:`CostModel.cached_costs`, so repeated folds of shared vignettes
+    cost a dict lookup.
+    """
+
+    __slots__ = (
+        "num_participants",
+        "model",
+        "device",
+        "device_speed",
+        "m",
+        "aggregator_seconds",
+        "aggregator_bytes",
+        "expected_seconds",
+        "expected_bytes",
+        "base_seconds",
+        "base_bytes",
+        "group_seconds",
+        "group_bytes",
+        "group_type",
+        "group_instances",
+        "aggregator_breakdown",
+    )
+
+    def __init__(
+        self,
+        num_participants: int,
+        model: CostModel,
+        device: DeviceProfile,
+        m: int,
+    ):
+        self.num_participants = num_participants
+        self.model = model
+        self.device = device
+        self.device_speed = device.speed
+        self.m = m
+        self.aggregator_seconds = 0.0
+        self.aggregator_bytes = 0.0
+        self.expected_seconds = 0.0
+        self.expected_bytes = 0.0
+        self.base_seconds = 0.0
+        self.base_bytes = 0.0
+        # Per committee group: accumulated member cost (one member serves on
+        # one committee of the group, and pays for every vignette in it).
+        self.group_seconds: Dict[str, float] = {}
+        self.group_bytes: Dict[str, float] = {}
+        self.group_type: Dict[str, str] = {}
+        self.group_instances: Dict[str, float] = {}
+        self.aggregator_breakdown: Dict[str, Tuple[float, float]] = {}
+
+    def copy(self) -> "ScoreAccumulator":
+        new = ScoreAccumulator.__new__(ScoreAccumulator)
+        new.num_participants = self.num_participants
+        new.model = self.model
+        new.device = self.device
+        new.device_speed = self.device_speed
+        new.m = self.m
+        new.aggregator_seconds = self.aggregator_seconds
+        new.aggregator_bytes = self.aggregator_bytes
+        new.expected_seconds = self.expected_seconds
+        new.expected_bytes = self.expected_bytes
+        new.base_seconds = self.base_seconds
+        new.base_bytes = self.base_bytes
+        new.group_seconds = dict(self.group_seconds)
+        new.group_bytes = dict(self.group_bytes)
+        new.group_type = dict(self.group_type)
+        new.group_instances = dict(self.group_instances)
+        new.aggregator_breakdown = dict(self.aggregator_breakdown)
+        return new
+
+    def add(self, v: Vignette) -> None:
+        # This fold is the hottest loop in the planner; the per-vignette
+        # scoring inputs (location kind, cost-cache token, group label,
+        # mailbox payload) are precomputed once per Vignette and stashed on
+        # it, and CostModel.cached_costs is inlined — on a hit the function
+        # call would cost more than the dict lookup it wraps. All float
+        # expressions are kept exactly as the readable originals so cached
+        # and uncached folds stay bit-identical.
+        stub = v.__dict__.get("_score_stub")
+        if stub is None:
+            stub = v.__dict__["_score_stub"] = _score_stub(v)
+        kind, token, instances, label, ctype, payload = stub
+        model = self.model
+        if kind == 2:  # COMMITTEE
+            m = self.m
+            costs = model.cost_cache.get((token, m))
+            if costs is None:
+                costs = model.cached_costs(v.work, m)
+            else:
+                model.cache_hits += 1
+            sec_m, sent_m, recv_m = costs
+            seconds = sec_m / self.device_speed
+            bytes_sent = sent_m + recv_m
+            probability = instances * m / self.num_participants
+            if probability > 1.0:
+                probability = 1.0
+            self.expected_seconds += probability * seconds
+            self.expected_bytes += probability * bytes_sent
+            group_seconds = self.group_seconds
+            group_seconds[label] = group_seconds.get(label, 0.0) + seconds
+            group_bytes = self.group_bytes
+            group_bytes[label] = group_bytes.get(label, 0.0) + bytes_sent
+            self.group_type.setdefault(label, ctype)
+            group_instances = self.group_instances
+            prev = group_instances.get(label, 0.0)
+            group_instances[label] = prev if prev > instances else instances
+            # The aggregator relays committee payloads (mailbox, §5.4).
+            forwarded = (recv_m + payload) * m * instances
+            self.aggregator_bytes += forwarded
+            prev = self.aggregator_breakdown.get("forwarding", (0.0, 0.0))
+            self.aggregator_breakdown["forwarding"] = (prev[0], prev[1] + forwarded)
+            return
+        costs = model.cost_cache.get((token, 1))
+        if costs is None:
+            costs = model.cached_costs(v.work)
+        else:
+            model.cache_hits += 1
+        sec1, sent1, recv1 = costs
+        if kind == 0:  # AGGREGATOR
+            seconds = sec1 * instances
+            bytes_sent = sent1 * instances
+            self.aggregator_seconds += seconds
+            self.aggregator_bytes += bytes_sent
+            prev = self.aggregator_breakdown.get(label, (0.0, 0.0))
+            self.aggregator_breakdown[label] = (
+                prev[0] + seconds,
+                prev[1] + bytes_sent,
+            )
+        else:  # PARTICIPANT
+            seconds = sec1 / self.device_speed
+            # Participant bandwidth counts both directions (Table 1 reports
+            # "participant bandwidth"; the worst-case GB comes from tree
+            # helpers *receiving* fanout-many ciphertexts).
+            bytes_sent = sent1 + recv1
+            if instances >= self.num_participants:
+                # Every device runs this (e.g. input encryption).
+                self.base_seconds += seconds
+                self.base_bytes += bytes_sent
+            else:
+                probability = instances / self.num_participants
+                self.expected_seconds += probability * seconds
+                self.expected_bytes += probability * bytes_sent
+                group_seconds = self.group_seconds
+                group_seconds[label] = group_seconds.get(label, 0.0) + seconds
+                group_bytes = self.group_bytes
+                group_bytes[label] = group_bytes.get(label, 0.0) + bytes_sent
+                self.group_type[label] = "helper"
+                group_instances = self.group_instances
+                prev = group_instances.get(label, 0.0)
+                group_instances[label] = prev if prev > instances else instances
+
+    def extended(self, vignettes: List[Vignette]) -> "ScoreAccumulator":
+        """A new accumulator with ``vignettes`` folded in (same m)."""
+        new = self.copy()
+        for v in vignettes:
+            new.add(v)
+        return new
+
+    def cost(self) -> CostVector:
+        max_group_seconds = max(self.group_seconds.values(), default=0.0)
+        max_group_bytes = max(self.group_bytes.values(), default=0.0)
+        return CostVector(
+            aggregator_core_seconds=self.aggregator_seconds,
+            aggregator_bytes=self.aggregator_bytes,
+            participant_expected_seconds=self.base_seconds + self.expected_seconds,
+            participant_expected_bytes=self.base_bytes + self.expected_bytes,
+            participant_max_seconds=self.base_seconds + max_group_seconds,
+            participant_max_bytes=self.base_bytes + max_group_bytes,
+        )
+
+    def finish(self, committee_params: CommitteeParameters) -> PlanScore:
+        breakdown_by_type: Dict[str, CommitteeTypeCost] = {}
+        for group, seconds in self.group_seconds.items():
+            ctype = self.group_type[group]
+            entry = breakdown_by_type.get(ctype)
+            if entry is None or seconds > entry.seconds:
+                breakdown_by_type[ctype] = CommitteeTypeCost(
+                    ctype, seconds, self.group_bytes[group], self.group_instances[group]
+                )
+            if entry is not None:
+                entry.committees += 0  # keep max-cost representative per type
+        return PlanScore(
+            cost=self.cost(),
+            committee_params=committee_params,
+            committee_breakdown=sorted(
+                breakdown_by_type.values(), key=lambda c: c.committee_type
+            ),
+            aggregator_breakdown=self.aggregator_breakdown,
+            participant_base_seconds=self.base_seconds,
+            participant_base_bytes=self.base_bytes,
+        )
+
+
 def score_vignettes(
     vignettes: List[Vignette],
     num_participants: int,
@@ -203,100 +432,9 @@ def score_vignettes(
     total_committees = count_committees(vignettes)
     if committee_params is None:
         committee_params = CommitteeParameters.for_plan(max(int(total_committees), 1))
-    m = committee_params.committee_size
-
-    aggregator_seconds = 0.0
-    aggregator_bytes = 0.0
-    aggregator_breakdown: Dict[str, Tuple[float, float]] = {}
-    expected_seconds = 0.0
-    expected_bytes = 0.0
-    base_seconds = 0.0
-    base_bytes = 0.0
-
-    # Per committee group: accumulated member cost (one member serves on one
-    # committee of the group, and pays for every vignette in the group).
-    group_seconds: Dict[str, float] = {}
-    group_bytes: Dict[str, float] = {}
-    group_type: Dict[str, str] = {}
-    group_instances: Dict[str, float] = {}
-
+    accum = ScoreAccumulator(
+        num_participants, model, device, committee_params.committee_size
+    )
     for v in vignettes:
-        if v.location is Location.AGGREGATOR:
-            seconds = model.compute_seconds(v.work) * v.instances
-            bytes_sent = model.traffic_bytes(v.work) * v.instances
-            aggregator_seconds += seconds
-            aggregator_bytes += bytes_sent
-            prev = aggregator_breakdown.get(v.name, (0.0, 0.0))
-            aggregator_breakdown[v.name] = (prev[0] + seconds, prev[1] + bytes_sent)
-        elif v.location is Location.PARTICIPANT:
-            seconds = model.device_seconds(v.work, device)
-            # Participant bandwidth counts both directions (Table 1 reports
-            # "participant bandwidth"; the worst-case GB comes from tree
-            # helpers *receiving* fanout-many ciphertexts).
-            bytes_sent = model.traffic_bytes(v.work) + model.received_bytes(v.work)
-            if v.instances >= num_participants:
-                # Every device runs this (e.g. input encryption).
-                base_seconds += seconds
-                base_bytes += bytes_sent
-            else:
-                probability = v.instances / num_participants
-                expected_seconds += probability * seconds
-                expected_bytes += probability * bytes_sent
-                group = f"participant:{v.name}"
-                group_seconds[group] = group_seconds.get(group, 0.0) + seconds
-                group_bytes[group] = group_bytes.get(group, 0.0) + bytes_sent
-                group_type[group] = "helper"
-                group_instances[group] = max(
-                    group_instances.get(group, 0.0), v.instances
-                )
-        else:  # COMMITTEE
-            seconds = model.device_seconds(v.work, device, m)
-            bytes_sent = model.traffic_bytes(v.work, m) + model.received_bytes(v.work, m)
-            probability = min(1.0, v.instances * m / num_participants)
-            expected_seconds += probability * seconds
-            expected_bytes += probability * bytes_sent
-            group = v.committee_group
-            group_seconds[group] = group_seconds.get(group, 0.0) + seconds
-            group_bytes[group] = group_bytes.get(group, 0.0) + bytes_sent
-            group_type.setdefault(group, v.committee_type or "operations")
-            group_instances[group] = max(group_instances.get(group, 0.0), v.instances)
-            # The aggregator relays committee payloads (mailbox, §5.4).
-            forwarded = (
-                model.received_bytes(v.work, m) + v.work.payload_bytes_sent
-            ) * m * v.instances
-            aggregator_bytes += forwarded
-            prev = aggregator_breakdown.get("forwarding", (0.0, 0.0))
-            aggregator_breakdown["forwarding"] = (prev[0], prev[1] + forwarded)
-
-    max_group_seconds = max(group_seconds.values(), default=0.0)
-    max_group_bytes = max(group_bytes.values(), default=0.0)
-
-    breakdown_by_type: Dict[str, CommitteeTypeCost] = {}
-    for group, seconds in group_seconds.items():
-        ctype = group_type[group]
-        entry = breakdown_by_type.get(ctype)
-        if entry is None or seconds > entry.seconds:
-            breakdown_by_type[ctype] = CommitteeTypeCost(
-                ctype, seconds, group_bytes[group], group_instances[group]
-            )
-        if entry is not None:
-            entry.committees += 0  # keep max-cost representative per type
-
-    cost = CostVector(
-        aggregator_core_seconds=aggregator_seconds,
-        aggregator_bytes=aggregator_bytes,
-        participant_expected_seconds=base_seconds + expected_seconds,
-        participant_expected_bytes=base_bytes + expected_bytes,
-        participant_max_seconds=base_seconds + max_group_seconds,
-        participant_max_bytes=base_bytes + max_group_bytes,
-    )
-    return PlanScore(
-        cost=cost,
-        committee_params=committee_params,
-        committee_breakdown=sorted(
-            breakdown_by_type.values(), key=lambda c: c.committee_type
-        ),
-        aggregator_breakdown=aggregator_breakdown,
-        participant_base_seconds=base_seconds,
-        participant_base_bytes=base_bytes,
-    )
+        accum.add(v)
+    return accum.finish(committee_params)

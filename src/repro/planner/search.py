@@ -16,6 +16,27 @@ enumerates every full candidate, keeps them all in memory like a naive
 implementation, and aborts with :class:`PlannerOutOfMemory` once the
 candidate list exceeds the memory budget (the paper's planner ran out of
 memory for half the queries with heuristics disabled).
+
+Two search engines share one control loop (`_SearchRun`), so they visit
+nodes in the same order and produce identical statistics by construction:
+
+* ``engine="incremental"`` (default) — each search node extends its
+  parent's :class:`~.expand.PrefixExpander` state by one op's vignettes
+  and its running :class:`~.plan.ScoreAccumulator` by the new segment,
+  so per-node work is O(1) amortized instead of O(depth). Emissions and
+  per-Work cost-model evaluations are memoized (hit/miss counters land
+  in :class:`PlannerStatistics`).
+* ``engine="reference"`` — the original from-scratch search (partial
+  re-instantiation + full rescoring per node), retained as the oracle
+  for the equivalence suite and the baseline for the planner benchmark.
+
+With ``order_choices`` (default on when heuristics are on), surviving
+children at each node are visited cheapest-first by their partial goal
+value — an admissible lower bound on any completion, since costs only
+grow as ops are added — so the incumbent tightens early and more of the
+tree falls to the bound. ``workers=N`` additionally fans the top-level
+choice subtrees across a ``multiprocessing`` fork pool; per-worker
+incumbents are merged deterministically in subtree order.
 """
 
 from __future__ import annotations
@@ -23,7 +44,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.types import QueryEnvironment
 from ..lang.ast import Program
@@ -31,7 +52,14 @@ from ..lang.parser import parse
 from ..lang.simplify import simplify
 from ..privacy.certify import Certificate, certify
 from .costmodel import Constraints, CostModel, Goal
-from .expand import Choice, ExpansionError, choice_space, instantiate, space_size
+from .expand import (
+    Choice,
+    ExpansionError,
+    PrefixExpander,
+    choice_space,
+    instantiate,
+    space_size,
+)
 from .ir import LogicalPlan, lower
 from .plan import Plan, score_vignettes
 
@@ -55,6 +83,30 @@ class PlannerStatistics:
     pruned_by_constraint: int = 0
     pruned_by_bound: int = 0
     runtime_seconds: float = 0.0
+    #: Memoized cost-model evaluations (CostModel.cached_costs).
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+    #: Memoized per-(op, choice, entry-state) vignette emissions.
+    expansion_cache_hits: int = 0
+    expansion_cache_misses: int = 0
+    #: Nodes whose surviving children were visited in a different
+    #: (cheapest-first) order than the catalog order.
+    nodes_reordered: int = 0
+    #: Worker processes the search actually used.
+    workers: int = 1
+
+    def merge_counters(self, other: "PlannerStatistics") -> None:
+        """Accumulate another run's effort counters (not space/runtime)."""
+        self.prefixes_considered += other.prefixes_considered
+        self.candidates_scored += other.candidates_scored
+        self.candidates_feasible += other.candidates_feasible
+        self.pruned_by_constraint += other.pruned_by_constraint
+        self.pruned_by_bound += other.pruned_by_bound
+        self.cost_cache_hits += other.cost_cache_hits
+        self.cost_cache_misses += other.cost_cache_misses
+        self.expansion_cache_hits += other.expansion_cache_hits
+        self.expansion_cache_misses += other.expansion_cache_misses
+        self.nodes_reordered += other.nodes_reordered
 
 
 @dataclass
@@ -71,6 +123,287 @@ class PlanningResult:
         return self.plan is not None
 
 
+# --------------------------------------------------------------------------
+# Search-node evaluators (the engine-specific part of the search)
+# --------------------------------------------------------------------------
+
+
+class _RefNode:
+    """Reference-engine search node: just the prefix and its partial cost."""
+
+    __slots__ = ("choices", "cost")
+
+    def __init__(self, choices: Tuple[Choice, ...], cost):
+        self.choices = choices
+        self.cost = cost
+
+
+class _ReferenceEvaluator:
+    """From-scratch evaluation, byte-for-byte the original planner.
+
+    Every extension re-instantiates and re-scores the whole prefix, and
+    every leaf re-instantiates the full assignment (the seed planner's
+    behaviour, kept as the benchmark baseline and equivalence oracle).
+    """
+
+    engine = "reference"
+    cache_hits = 0
+    cache_misses = 0
+
+    def __init__(self, logical: LogicalPlan, model: CostModel, num_participants: int):
+        self.logical = logical
+        self.model = model
+        self.n = num_participants
+
+    def root(self) -> _RefNode:
+        return _RefNode((), None)
+
+    def extend(self, node: _RefNode, choice: Choice) -> _RefNode:
+        choices = node.choices + (choice,)
+        vignettes, _scheme = instantiate(
+            self.logical, choices, self.model, partial=True
+        )
+        score = score_vignettes(vignettes, self.n, self.model)
+        return _RefNode(choices, score.cost)
+
+    def naive_extend(self, node: _RefNode, choice: Choice) -> _RefNode:
+        # Without heuristics the original planner never instantiates
+        # prefixes; structural failures only surface at the leaves.
+        return _RefNode(node.choices + (choice,), None)
+
+    def leaf(self, node: _RefNode):
+        try:
+            vignettes, scheme = instantiate(self.logical, node.choices, self.model)
+        except ExpansionError:
+            return None
+        score = score_vignettes(vignettes, self.n, self.model)
+        logical = self.logical
+        choices = node.choices
+
+        def make_plan() -> Plan:
+            return Plan(
+                query_name=logical.query_name,
+                choices={c.key: c.label() for c in choices},
+                vignettes=vignettes,
+                scheme=scheme,
+                score=score,
+                choice_list=list(choices),
+            )
+
+        return score.cost, make_plan
+
+
+class _IncrementalEvaluator:
+    """Resumable evaluation through a :class:`PrefixExpander`.
+
+    Extension reuses the parent node's vignettes and running score; the
+    leaf reuses the depth-d node outright (it already folded every
+    vignette), fixing the original planner's double instantiation of full
+    assignments.
+    """
+
+    engine = "incremental"
+
+    def __init__(self, logical: LogicalPlan, model: CostModel, num_participants: int):
+        self.logical = logical
+        self.model = model
+        self.n = num_participants
+        self.expander = PrefixExpander(logical, model)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.expander.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.expander.cache_misses
+
+    def root(self):
+        return self.expander.root()
+
+    def extend(self, node, choice: Choice):
+        return self.expander.extend(node, choice)
+
+    # Structural failures surface at extension time; the search core
+    # accounts for the skipped subtree's leaves in naive mode.
+    naive_extend = extend
+
+    def leaf(self, node):
+        score = self.expander.leaf_score(node)
+        expander = self.expander
+        logical = self.logical
+
+        def make_plan() -> Plan:
+            return Plan(
+                query_name=logical.query_name,
+                choices={c.key: c.label() for c in node.choices},
+                vignettes=expander.leaf_vignettes(node),
+                scheme=node.scheme,
+                score=score,
+                choice_list=list(node.choices),
+            )
+
+        return score.cost, make_plan
+
+
+# --------------------------------------------------------------------------
+# The engine-independent search loop
+# --------------------------------------------------------------------------
+
+
+class _SearchRun:
+    """One depth-first search over (a subset of) the choice tree.
+
+    The control flow is shared by both evaluators, so node visit order,
+    pruning decisions, and every statistics counter are identical between
+    engines by construction (the bound checks compare the same partial
+    CostVectors, which the incremental engine reproduces bit-exactly).
+    """
+
+    def __init__(
+        self,
+        planner: "Planner",
+        logical: LogicalPlan,
+        space,
+        evaluator,
+        stats,
+        split_depth: int = 0,
+    ):
+        self.planner = planner
+        self.logical = logical
+        self.space = space
+        self.evaluator = evaluator
+        self.stats = stats
+        self.split_depth = split_depth
+        self.best: Optional[Plan] = None
+        self.best_score = float("inf")
+        self.best_composite = float("inf")
+        self.kept_candidates: List[Plan] = []  # only populated without heuristics
+        # suffix_leaves[d]: leaves in a subtree rooted at depth d, and
+        # suffix_prefixes[d]: prefixes a full walk of that subtree visits.
+        # Used to account for structurally-invalid subtrees in naive mode,
+        # where the original planner walked and scored-and-failed them all.
+        leaves = [1] * (len(space) + 1)
+        prefixes = [0] * (len(space) + 1)
+        for i in range(len(space) - 1, -1, -1):
+            leaves[i] = leaves[i + 1] * len(space[i][1])
+            prefixes[i] = len(space[i][1]) * (1 + prefixes[i + 1])
+        self.suffix_leaves = leaves
+        self.suffix_prefixes = prefixes
+
+    def run(self, root_options: Optional[Sequence[int]] = None) -> Optional[Plan]:
+        self.root_options = root_options
+        root = self.evaluator.root()
+        if self.planner.heuristics:
+            self._dfs(root, 0)
+        else:
+            self._dfs_naive(root, 0)
+        return self.best
+
+    # ----------------------------------------------------------- internals
+
+    def _options(self, depth: int):
+        options = self.space[depth][1]
+        if depth == self.split_depth and self.root_options is not None:
+            allowed = set(self.root_options)
+            return [(i, c) for i, c in enumerate(options) if i in allowed]
+        return list(enumerate(options))
+
+    def _leaf(self, node) -> Optional[Plan]:
+        stats = self.stats
+        planner = self.planner
+        stats.candidates_scored += 1
+        scored = self.evaluator.leaf(node)
+        if scored is None:
+            return None
+        cost, make_plan = scored
+        if not planner.constraints.allows(cost):
+            stats.pruned_by_constraint += 1
+            return None
+        stats.candidates_feasible += 1
+        plan = make_plan()
+        if planner.goal.better(cost, self.best_score, self.best_composite):
+            self.best = plan
+            self.best_score = planner.goal.score(cost)
+            self.best_composite = planner.goal.composite(cost)
+        return plan
+
+    def _dfs(self, node, depth: int) -> None:
+        if depth == len(self.space):
+            self._leaf(node)
+            return
+        stats = self.stats
+        planner = self.planner
+        goal = planner.goal
+        # Two phases: score every child against the incumbent-at-entry,
+        # then recurse (optionally cheapest-first), re-checking the bound
+        # against the freshly tightened incumbent before each descent. A
+        # child is counted as bound-pruned exactly once, whichever phase
+        # discards it, so the totals match a single-phase loop.
+        children = []
+        for index, choice in self._options(depth):
+            stats.prefixes_considered += 1
+            try:
+                child = self.evaluator.extend(node, choice)
+            except ExpansionError:
+                continue
+            cost = child.cost
+            if planner.constraints.first_violation(cost) is not None:
+                stats.pruned_by_constraint += 1
+                continue
+            value = goal.score(cost)
+            # Strict bound: costs only grow as ops are added, so a
+            # prefix already *strictly* above the incumbent cannot
+            # improve it; ties stay open for the lexicographic
+            # composite to decide at the leaves.
+            if value > self.best_score and not goal.is_tied(value, self.best_score):
+                stats.pruned_by_bound += 1
+                continue
+            children.append((value, index, child))
+        if planner.order_choices and len(children) > 1:
+            ordered = sorted(children, key=lambda entry: (entry[0], entry[1]))
+            if [entry[1] for entry in ordered] != [entry[1] for entry in children]:
+                stats.nodes_reordered += 1
+            children = ordered
+        for value, _index, child in children:
+            if value > self.best_score and not goal.is_tied(value, self.best_score):
+                stats.pruned_by_bound += 1
+                continue
+            self._dfs(child, depth + 1)
+
+    def _dfs_naive(self, node, depth: int) -> None:
+        if depth == len(self.space):
+            plan = self._leaf(node)
+            if plan is not None:
+                self.kept_candidates.append(plan)
+                if len(self.kept_candidates) > self.planner.memory_budget_candidates:
+                    raise PlannerOutOfMemory(
+                        f"naive enumeration exceeded the memory budget of "
+                        f"{self.planner.memory_budget_candidates} candidates for "
+                        f"query {self.logical.query_name!r}"
+                    )
+            return
+        stats = self.stats
+        for _index, choice in self._options(depth):
+            stats.prefixes_considered += 1
+            try:
+                child = self.evaluator.naive_extend(node, choice)
+            except ExpansionError:
+                # The original planner only discovered structural failures
+                # at the leaves: it walked every prefix below this one and
+                # scored-and-failed every leaf. Account for both without
+                # walking the subtree.
+                stats.candidates_scored += self.suffix_leaves[depth + 1]
+                stats.prefixes_considered += self.suffix_prefixes[depth + 1]
+                continue
+            self._dfs_naive(child, depth + 1)
+
+
+# --------------------------------------------------------------------------
+# The planner
+# --------------------------------------------------------------------------
+
+
 class Planner:
     """Arboretum's query planner.
 
@@ -78,6 +411,13 @@ class Planner:
     and optional ``constraints`` (limits on any of the six metrics); the
     planner returns the best plan that satisfies the limits, or raises
     :class:`PlanningFailed`.
+
+    ``engine`` selects the search evaluator ("incremental" or
+    "reference" — see the module docstring); ``order_choices`` visits
+    surviving children cheapest-first (defaults to on when heuristics are
+    on); ``workers`` > 1 splits the top-level choice subtrees across a
+    process pool (ignored by the naive ablation, whose out-of-memory
+    trajectory must stay sequential).
     """
 
     def __init__(
@@ -89,6 +429,9 @@ class Planner:
         heuristics: bool = True,
         memory_budget_candidates: int = 250_000,
         verify: Optional[bool] = None,
+        engine: str = "incremental",
+        order_choices: Optional[bool] = None,
+        workers: int = 1,
     ):
         self.env = env
         self.model = model or CostModel()
@@ -99,6 +442,15 @@ class Planner:
         if verify is None:
             verify = os.environ.get("REPRO_VERIFY", "").lower() in ("1", "true", "yes")
         self.verify = verify
+        if engine not in ("incremental", "reference"):
+            raise ValueError(f"unknown search engine {engine!r}")
+        self.engine = engine
+        if order_choices is None:
+            order_choices = heuristics
+        self.order_choices = order_choices
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
 
     # ----------------------------------------------------------- front door
 
@@ -139,83 +491,18 @@ class Planner:
         self, logical: LogicalPlan, certificate: Certificate
     ) -> PlanningResult:
         started = time.perf_counter()
-        stats = PlannerStatistics(space_size=space_size(logical))
         space = choice_space(logical)
-        best: Optional[Plan] = None
-        best_score = float("inf")
-        best_composite = float("inf")
-        kept_candidates: List[Plan] = []  # only populated without heuristics
-
-        def leaf(choices: List[Choice]) -> Optional[Plan]:
-            nonlocal best, best_score, best_composite
-            stats.candidates_scored += 1
-            try:
-                vignettes, scheme = instantiate(logical, choices, self.model)
-            except ExpansionError:
-                return None
-            score = score_vignettes(
-                vignettes, self.env.num_participants, self.model
-            )
-            if not self.constraints.allows(score.cost):
-                stats.pruned_by_constraint += 1
-                return None
-            stats.candidates_feasible += 1
-            plan = Plan(
-                query_name=logical.query_name,
-                choices={c.key: c.label() for c in choices},
-                vignettes=vignettes,
-                scheme=scheme,
-                score=score,
-                choice_list=list(choices),
-            )
-            if self.goal.better(score.cost, best_score, best_composite):
-                best = plan
-                best_score = self.goal.score(score.cost)
-                best_composite = self.goal.composite(score.cost)
-            return plan
-
-        def dfs(depth: int, choices: List[Choice]) -> None:
-            if depth == len(space):
-                plan = leaf(choices)
-                if not self.heuristics and plan is not None:
-                    kept_candidates.append(plan)
-                    if len(kept_candidates) > self.memory_budget_candidates:
-                        raise PlannerOutOfMemory(
-                            f"naive enumeration exceeded the memory budget of "
-                            f"{self.memory_budget_candidates} candidates for "
-                            f"query {logical.query_name!r}"
-                        )
-                return
-            for choice in space[depth][1]:
-                stats.prefixes_considered += 1
-                next_choices = choices + [choice]
-                if self.heuristics:
-                    try:
-                        vignettes, _scheme = instantiate(
-                            logical, next_choices, self.model, partial=True
-                        )
-                    except ExpansionError:
-                        continue
-                    partial_score = score_vignettes(
-                        vignettes, self.env.num_participants, self.model
-                    )
-                    violation = self.constraints.first_violation(partial_score.cost)
-                    if violation is not None:
-                        stats.pruned_by_constraint += 1
-                        continue
-                    partial_value = self.goal.score(partial_score.cost)
-                    # Strict bound: costs only grow as ops are added, so a
-                    # prefix already *strictly* above the incumbent cannot
-                    # improve it; ties stay open for the lexicographic
-                    # composite to decide at the leaves.
-                    if partial_value > best_score and not self.goal.is_tied(
-                        partial_value, best_score
-                    ):
-                        stats.pruned_by_bound += 1
-                        continue
-                dfs(depth + 1, next_choices)
-
-        dfs(0, [])
+        stats = PlannerStatistics(space_size=space_size(logical))
+        # Split the tree at the first op with real alternatives (the input
+        # op is often forced, so depth 0 may have a single option).
+        split_depth = next(
+            (d for d, (_op, opts) in enumerate(space) if len(opts) > 1), None
+        )
+        if self.workers > 1 and self.heuristics and split_depth is not None:
+            best = self._plan_parallel(logical, space, stats, split_depth)
+        else:
+            best, run_stats = self.search_logical(logical)
+            stats.merge_counters(run_stats)
         stats.runtime_seconds = time.perf_counter() - started
         result = PlanningResult(best, stats, certificate, logical)
         if best is None:
@@ -232,6 +519,120 @@ class Planner:
             verify_planning_result(result).raise_if_failed()
         return result
 
+    def search_logical(
+        self,
+        logical: LogicalPlan,
+        root_options: Optional[Sequence[int]] = None,
+        split_depth: int = 0,
+    ) -> Tuple[Optional[Plan], PlannerStatistics]:
+        """One sequential search (optionally over a split-level subset).
+
+        Returns the incumbent and the effort counters for this run only;
+        :meth:`plan_logical` handles failure/verification policy.
+        """
+        space = choice_space(logical)
+        stats = PlannerStatistics()
+        if self.engine == "reference":
+            evaluator = _ReferenceEvaluator(
+                logical, self.model, self.env.num_participants
+            )
+        else:
+            evaluator = _IncrementalEvaluator(
+                logical, self.model, self.env.num_participants
+            )
+        cost_hits = self.model.cache_hits
+        cost_misses = self.model.cache_misses
+        run = _SearchRun(self, logical, space, evaluator, stats, split_depth)
+        best = run.run(root_options)
+        stats.cost_cache_hits = self.model.cache_hits - cost_hits
+        stats.cost_cache_misses = self.model.cache_misses - cost_misses
+        stats.expansion_cache_hits = evaluator.cache_hits
+        stats.expansion_cache_misses = evaluator.cache_misses
+        return best, stats
+
+    def _plan_parallel(
+        self, logical: LogicalPlan, space, stats, split_depth: int
+    ) -> Optional[Plan]:
+        """Fan the split-level choice subtrees across a fork pool.
+
+        Subtree k gets every workers-th option starting at k, so
+        partitions are balanced across heterogeneous options. Results are
+        merged in partition order with the same lexicographic comparison
+        the sequential search applies, making the outcome deterministic
+        for any worker count.
+        """
+        import multiprocessing
+
+        options = space[split_depth][1]
+        workers = max(1, min(self.workers, len(options)))
+        parts = [list(range(len(options)))[k::workers] for k in range(workers)]
+        payloads = [
+            (
+                logical,
+                self.model,
+                self.constraints,
+                self.goal,
+                self.engine,
+                self.order_choices,
+                self.memory_budget_candidates,
+                part,
+                split_depth,
+            )
+            for part in parts
+        ]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: degrade gracefully
+            ctx = None
+        if ctx is None:
+            results = [_search_subtree(payload) for payload in payloads]
+        else:
+            with ctx.Pool(processes=workers) as pool:
+                results = pool.map(_search_subtree, payloads)
+        stats.workers = workers
+        best: Optional[Plan] = None
+        best_score = float("inf")
+        best_composite = float("inf")
+        for plan, run_stats in results:
+            stats.merge_counters(run_stats)
+            if plan is not None and self.goal.better(
+                plan.cost, best_score, best_composite
+            ):
+                best = plan
+                best_score = self.goal.score(plan.cost)
+                best_composite = self.goal.composite(plan.cost)
+        return best
+
+
+def _search_subtree(payload):
+    """Worker entry point: sequential search over one subtree partition."""
+    (
+        logical,
+        model,
+        constraints,
+        goal,
+        engine,
+        order_choices,
+        memory_budget,
+        root_options,
+        split_depth,
+    ) = payload
+    planner = Planner(
+        logical.env,
+        model=model,
+        constraints=constraints,
+        goal=goal,
+        heuristics=True,
+        memory_budget_candidates=memory_budget,
+        verify=False,
+        engine=engine,
+        order_choices=order_choices,
+        workers=1,
+    )
+    return planner.search_logical(
+        logical, root_options=root_options, split_depth=split_depth
+    )
+
 
 def plan_query(
     source: str,
@@ -241,6 +642,11 @@ def plan_query(
     goal: Optional[Goal] = None,
     model: Optional[CostModel] = None,
     heuristics: bool = True,
+    memory_budget_candidates: int = 250_000,
+    verify: Optional[bool] = None,
+    engine: str = "incremental",
+    order_choices: Optional[bool] = None,
+    workers: int = 1,
 ) -> PlanningResult:
     """One-call convenience wrapper: source text in, PlanningResult out."""
     planner = Planner(
@@ -249,5 +655,10 @@ def plan_query(
         constraints=constraints,
         goal=goal,
         heuristics=heuristics,
+        memory_budget_candidates=memory_budget_candidates,
+        verify=verify,
+        engine=engine,
+        order_choices=order_choices,
+        workers=workers,
     )
     return planner.plan_source(source, name)

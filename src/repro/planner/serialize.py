@@ -104,6 +104,12 @@ def planning_result_to_dict(result: PlanningResult) -> Dict[str, Any]:
             "pruned_by_constraint": stats.pruned_by_constraint,
             "pruned_by_bound": stats.pruned_by_bound,
             "runtime_seconds": stats.runtime_seconds,
+            "cost_cache_hits": stats.cost_cache_hits,
+            "cost_cache_misses": stats.cost_cache_misses,
+            "expansion_cache_hits": stats.expansion_cache_hits,
+            "expansion_cache_misses": stats.expansion_cache_misses,
+            "nodes_reordered": stats.nodes_reordered,
+            "workers": stats.workers,
         },
     }
     if result.plan is not None:
