@@ -17,7 +17,7 @@ Execution (§5) on a simulated deployment::
 
     from repro import FederatedNetwork, QueryExecutor
 
-    network = FederatedNetwork(64)
+    network = FederatedNetwork(64, seed=0)
     network.load_categorical_data(8)
     outcome = QueryExecutor(network, result).run()
 

@@ -14,6 +14,9 @@ Commands
              printing the invariant report (exit 1 on any violation).
 ``lint``     run the privacy-invariant source lint over the repro sources
              (exit 1 on any violation).
+``chaos``    replay named fault-injection scenarios against the runtime and
+             check every recovery reproduces the fault-free answer
+             bit-for-bit (exit 1 on any wrong value or unpaired fault).
 """
 
 from __future__ import annotations
@@ -202,6 +205,90 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from .faults import FaultInjector, UnrecoverableFault, get_scenario, list_scenarios
+    from .runtime.executor import QueryExecutor
+    from .runtime.network import FederatedNetwork
+
+    if args.list:
+        print(f"{'scenario':16s} {'events':>6s}  description")
+        for plan in list_scenarios():
+            print(f"{plan.name:16s} {len(plan.events):>6d}  {plan.description}")
+        return 0
+
+    def execute(plan):
+        env = QueryEnvironment(
+            num_participants=args.devices,
+            row_width=args.categories,
+            epsilon=args.epsilon,
+            sensitivity=1.0,
+        )
+        planning = Planner(env).plan_source(
+            "aggr = sum(db); output(em(aggr));", name="chaos"
+        )
+        network = FederatedNetwork(args.devices, rng=random.Random(args.seed))
+        network.load_categorical_data(args.categories)
+        executor = QueryExecutor(
+            network,
+            planning,
+            committee_size=args.committee_size,
+            key_prime_bits=96,
+            rng=random.Random(args.seed + 1),
+            faults=FaultInjector(plan, seed=args.seed),
+        )
+        return executor.run()
+
+    if args.scenario == "all":
+        names = [plan.name for plan in list_scenarios()]
+    else:
+        try:
+            names = [get_scenario(args.scenario).name]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    baseline = execute(get_scenario("none"))
+    print(f"fault-free baseline value: {baseline.value!r}")
+    failures = 0
+    for name in names:
+        plan = get_scenario(name)
+        print(f"\n== {name}: {plan.description}")
+        try:
+            outcome = execute(plan)
+        except UnrecoverableFault as exc:
+            print(exc.log.format())
+            if plan.expect_unrecoverable:
+                print(f"verdict: ok — aborted as expected ({exc.reason})")
+            else:
+                print(f"verdict: FAILED — unexpected abort: {exc.reason}")
+                failures += 1
+            continue
+        print(outcome.fault_log.format())
+        if plan.expect_unrecoverable:
+            print("verdict: FAILED — run completed but was expected to abort")
+            failures += 1
+        elif plan.mutates_inputs:
+            print(
+                f"verdict: ok — value {outcome.value!r} (inputs mutated; "
+                "baseline comparison not applicable)"
+            )
+        elif outcome.value != baseline.value:
+            print(
+                f"verdict: FAILED — value {outcome.value!r} differs from "
+                f"fault-free {baseline.value!r}"
+            )
+            failures += 1
+        elif not outcome.fault_log.all_recovered:
+            print("verdict: FAILED — fault record(s) left unresolved")
+            failures += 1
+        else:
+            print(
+                f"verdict: ok — bit-identical value {outcome.value!r}, "
+                f"{outcome.fault_log.recovered} fault(s) recovered/tolerated"
+            )
+    print(f"\n{len(names) - failures}/{len(names)} scenario(s) ok")
+    return 1 if failures else 0
+
+
 def cmd_queries(_args) -> int:
     print(f"{'name':12s} {'action':28s} {'from':8s} {'lines':>5s}")
     for spec in ALL_QUERIES:
@@ -232,6 +319,7 @@ def cmd_eval(args) -> int:
         "fig10": experiments.print_fig10,
         "fig11": power.print_fig11,
         "hetero": hetero.print_hetero,
+        "chaos": experiments.print_chaos,
     }
     if args.artifact == "all":
         for name, fn in targets.items():
@@ -319,10 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=cmd_lint)
 
+    chaos = sub.add_parser(
+        "chaos", help="run fault-injection scenarios against the runtime"
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="enumerate the named scenarios"
+    )
+    chaos.add_argument(
+        "--scenario", default="all", help="scenario name, or 'all' (default)"
+    )
+    chaos.add_argument("--devices", type=int, default=32)
+    chaos.add_argument("--categories", type=int, default=8)
+    chaos.add_argument("--epsilon", type=float, default=4.0)
+    chaos.add_argument("--committee-size", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.set_defaults(func=cmd_chaos)
+
     evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")
     evaluate.add_argument(
         "artifact", nargs="?", default="all",
-        help="table1|table2|fig6..fig11|hetero|report|all",
+        help="table1|table2|fig6..fig11|hetero|chaos|report|all",
     )
     evaluate.add_argument(
         "--export", metavar="DIR", default=None,

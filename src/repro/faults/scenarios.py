@@ -1,0 +1,117 @@
+"""Named fault scenarios for ``repro chaos`` and the smoke suite.
+
+Each scenario is a ready-made :class:`~repro.faults.schedule.FaultPlan`
+exercising one recovery path of the runtime. Scenarios are deliberately
+small (one or two events) so the CLI transcript reads as a story:
+injected fault → detection → recovery action → outcome.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .events import (
+    CRASH,
+    DROPOUT,
+    EQUIVOCATE,
+    GARBAGE,
+    RESTORE,
+    STRAGGLER,
+    VSR_LOSS,
+    FaultEvent,
+)
+from .schedule import FaultPlan
+
+SCENARIOS = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(
+            "none",
+            "no faults; the baseline every recovery is compared against",
+        ),
+        FaultPlan(
+            "keygen-loss",
+            "a key-generation committee member churns after the key shares "
+            "were dealt; survivors re-share via Shamir threshold recovery",
+            events=(FaultEvent(DROPOUT, "decrypt", target="keygen#1"),),
+        ),
+        FaultPlan(
+            "decrypt-crash",
+            "a decryption-committee member crashes mid-protocol; the task "
+            "fails over to a fresh committee and the phase is replayed",
+            events=(FaultEvent(CRASH, "decrypt"),),
+        ),
+        FaultPlan(
+            "double-crash",
+            "back-to-back crashes in two different phases; two independent "
+            "failovers",
+            events=(FaultEvent(CRASH, "decrypt"), FaultEvent(CRASH, "program")),
+        ),
+        FaultPlan(
+            "straggler",
+            "one short straggle (absorbed within the round timeout) and one "
+            "long straggle (treated as a crash, triggering failover)",
+            events=(
+                FaultEvent(STRAGGLER, "decrypt", delay=5.0),
+                FaultEvent(STRAGGLER, "program", delay=120.0),
+            ),
+        ),
+        FaultPlan(
+            "vsr-loss",
+            "one dealer's verifiable-secret-redistribution message is lost; "
+            "the receiving committee reconstructs from an alternative quorum",
+            events=(FaultEvent(VSR_LOSS, "decrypt"),),
+        ),
+        FaultPlan(
+            "equivocate",
+            "a member submits an inconsistent share during the program "
+            "phase; the degree-t check aborts and the committee is replaced",
+            events=(FaultEvent(EQUIVOCATE, "program"),),
+        ),
+        FaultPlan(
+            "garbage-upload",
+            "two devices upload malformed ciphertext vectors; the "
+            "well-formedness ZKPs reject them before aggregation",
+            events=(
+                FaultEvent(GARBAGE, "input", target=2),
+                FaultEvent(GARBAGE, "input", target=3),
+            ),
+            mutates_inputs=True,
+        ),
+        FaultPlan(
+            "churn-wave",
+            "four devices churn before decryption and return during the "
+            "program phase; committees are trimmed or skipped (§5.1)",
+            events=(
+                FaultEvent(DROPOUT, "decrypt", target=(5, 6, 7, 8)),
+                FaultEvent(RESTORE, "program", target=(5, 6, 7, 8)),
+            ),
+        ),
+        FaultPlan(
+            "overload",
+            "the keygen committee loses members beyond the reconstruction "
+            "quorum after dealing key shares; the fault budget exceeds the "
+            "§5.1 tolerance and the run must abort with UnrecoverableFault",
+            events=(
+                FaultEvent(
+                    DROPOUT,
+                    "decrypt",
+                    target=("keygen#0", "keygen#1", "keygen#2"),
+                ),
+            ),
+            expect_unrecoverable=True,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> FaultPlan:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
+
+
+def list_scenarios() -> List[FaultPlan]:
+    return list(SCENARIOS.values())

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..crypto.field import PrimeField, DEFAULT_FIELD
 from ..crypto.shamir import Share, reconstruct_secret, share_secret
@@ -111,6 +111,10 @@ class MPCEngine:
         self.rng = rng
         self.dealer = OfflineDealer(field, self.party_ids, self.threshold, self.rng)
         self.counters = CostCounters()
+        #: Consulted between communication rounds; the fault-injection
+        #: runtime (``repro.faults``) installs a hook here that simulates
+        #: crashes, stragglers, and equivocation by raising typed errors.
+        self.round_hook: Optional[Callable[[], None]] = None
         self._id = MPCEngine._next_engine_id
         MPCEngine._next_engine_id += 1
 
@@ -213,6 +217,9 @@ class MPCEngine:
         mismatch means some party lied, and the protocol aborts. This is the
         honest-majority error-detection analogue of SPDZ MAC checks.
         """
+        if self.round_hook is not None:
+            # A round boundary: the fault injector may fail a member here.
+            self.round_hook()
         ordered = [shares[pid] for pid in self.party_ids]
         quorum = ordered[: self.threshold + 1]
         secret = reconstruct_secret(quorum, self.field)

@@ -12,11 +12,11 @@ fresh sharing of the same secrets, and tampered sub-shares are detected.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..crypto.field import DEFAULT_FIELD, PrimeField
 from ..crypto.shamir import Share
-from ..crypto.vsr import redistribute_vector
+from ..crypto.vsr import VSRError, redistribute_vector
 from ..mpc.engine import MPCEngine, SecretValue
 
 #: Big integers (Paillier key material) are carried as base-2^LIMB_BITS
@@ -52,6 +52,7 @@ class Committee:
         rng: random.Random,
         field: PrimeField = DEFAULT_FIELD,
         bit_width: int = 40,
+        round_hook: Optional[Callable[[], None]] = None,
     ):
         if len(members) < 3:
             raise ValueError("a committee needs at least 3 members")
@@ -59,9 +60,12 @@ class Committee:
         self.members = list(members)
         self.field = field
         self.rng = rng
+        self.bit_width = bit_width
+        self.round_hook = round_hook
         self.engine = MPCEngine(
             len(members), field=field, rng=rng, bit_width=bit_width
         )
+        self.engine.round_hook = round_hook
 
     @property
     def size(self) -> int:
@@ -88,18 +92,40 @@ class Committee:
     # ------------------------------------------------------------------ VSR
 
     def send_via_vsr(
-        self, values: Sequence[SecretValue], recipient: "Committee"
+        self,
+        values: Sequence[SecretValue],
+        recipient: "Committee",
+        exclude_members: Sequence[int] = (),
     ) -> List[SecretValue]:
         """Verifiably re-share ``values`` into the recipient's engine.
 
         In deployment the redistribution messages travel through the
         aggregator's mailbox, signed and encrypted; here the exchange is
         in-process but runs the full VSR protocol (Feldman-committed
-        sub-shares, per-recipient verification).
+        sub-shares, per-recipient verification). ``exclude_members`` drops
+        those dealers' redistribution messages — the recovery path when a
+        dealer's message is lost in transit: any surviving quorum of at
+        least threshold+1 dealers reconstructs the identical secrets.
         """
         if recipient.field.modulus != self.field.modulus:
             raise ValueError("committees must share a field for VSR")
         old_vectors = self.export_vector(values)
+        if exclude_members:
+            excluded_pids = {
+                self.members.index(m) + 1
+                for m in exclude_members
+                if m in self.members
+            }
+            old_vectors = {
+                pid: shares
+                for pid, shares in old_vectors.items()
+                if pid not in excluded_pids
+            }
+            if len(old_vectors) < self.threshold + 1:
+                raise VSRError(
+                    f"only {len(old_vectors)} dealers reachable; need a "
+                    f"quorum of {self.threshold + 1} to redistribute"
+                )
         new_shares = redistribute_vector(
             old_vectors,
             self.threshold,
@@ -113,6 +139,74 @@ class Committee:
             per_value = {pid: new_shares[pid][i] for pid in recipient.engine.party_ids}
             out.append(recipient.engine.input_shares(per_value))
         return out
+
+    # ------------------------------------------------------- share recovery
+
+    def recover_shares(
+        self,
+        vectors: Dict[str, List[SecretValue]],
+        lost_members: Sequence[int],
+        rng: random.Random,
+    ) -> Dict[str, List[SecretValue]]:
+        """Survive member loss *after* shares were dealt (§5.1 churn).
+
+        The surviving members form a reconstruction quorum as long as at
+        least ``threshold + 1`` of them remain (and at least 3, the
+        honest-majority floor): they verifiably re-share every outstanding
+        secret among themselves via VSR, the committee shrinks to the
+        survivors, and a fresh engine (with the survivors' own threshold)
+        adopts the re-shared values. The secrets are bit-identical — only
+        the sharing polynomials change — so recovered executions produce
+        exactly the fault-free answer.
+
+        Raises :class:`CommitteeError` when the loss exceeds what Shamir
+        reconstruction tolerates; the caller must then fail over or abort.
+        """
+        lost = set(lost_members)
+        departed = [m for m in self.members if m in lost]
+        if not departed:
+            return vectors
+        survivors = [m for m in self.members if m not in lost]
+        quorum = self.threshold + 1
+        if len(survivors) < max(3, quorum):
+            raise CommitteeError(
+                f"committee {self.name!r} lost {len(departed)} member(s); "
+                f"{len(survivors)} survivor(s) cannot meet the "
+                f"reconstruction quorum of {max(3, quorum)}"
+            )
+        surviving_pids = [self.members.index(m) + 1 for m in survivors]
+        old_threshold = self.threshold
+        new_engine = MPCEngine(
+            len(survivors), field=self.field, rng=rng, bit_width=self.bit_width
+        )
+        new_engine.round_hook = self.round_hook
+        recovered: Dict[str, List[SecretValue]] = {}
+        for label, values in vectors.items():
+            old_vectors: Dict[int, List[Share]] = {pid: [] for pid in surviving_pids}
+            for value in values:
+                shares = self.engine.export_shares(value)
+                for pid in surviving_pids:
+                    old_vectors[pid].append(shares[pid])
+            if not values:
+                recovered[label] = []
+                continue
+            new_shares = redistribute_vector(
+                old_vectors,
+                old_threshold,
+                new_engine.threshold,
+                new_engine.party_ids,
+                self.field,
+                rng,
+            )
+            recovered[label] = [
+                new_engine.input_shares(
+                    {pid: new_shares[pid][i] for pid in new_engine.party_ids}
+                )
+                for i in range(len(values))
+            ]
+        self.members = survivors
+        self.engine = new_engine
+        return recovered
 
 
 class CommitteeError(Exception):
@@ -137,8 +231,9 @@ class CommitteePool:
         rng: random.Random,
         field: PrimeField = DEFAULT_FIELD,
         bit_width: int = 40,
-        online_filter: Optional[callable] = None,
+        online_filter: Optional[Callable[[List[int]], List[int]]] = None,
         churn_tolerance: float = 0.25,
+        round_hook: Optional[Callable[[], None]] = None,
     ):
         if not committees:
             raise ValueError("sortition produced no committees")
@@ -149,8 +244,13 @@ class CommitteePool:
         self._bit_width = bit_width
         self._online_filter = online_filter
         self._churn_tolerance = churn_tolerance
+        self._round_hook = round_hook
         self.allocated: List[Committee] = []
         self.skipped: List[List[int]] = []
+        #: Indices into the sortition assignment already recorded as skipped;
+        #: membership lists are not hashable and may repeat under wrap-around,
+        #: so dedup happens on the index, not the list.
+        self._skipped_indices: Set[int] = set()
 
     def _usable_members(self, members: List[int]) -> Optional[List[int]]:
         """Online members, or None if the committee lost too many (§5.1)."""
@@ -165,16 +265,23 @@ class CommitteePool:
     def allocate(self, name: str) -> Committee:
         attempts = 0
         while attempts < 2 * len(self._memberships):
-            members = self._memberships[self._next % len(self._memberships)]
+            index = self._next % len(self._memberships)
+            members = self._memberships[index]
             self._next += 1
             attempts += 1
             usable = self._usable_members(members)
             if usable is None:
-                if members not in self.skipped:
+                if index not in self._skipped_indices:
+                    self._skipped_indices.add(index)
                     self.skipped.append(members)
                 continue
             committee = Committee(
-                name, usable, self._rng, field=self._field, bit_width=self._bit_width
+                name,
+                usable,
+                self._rng,
+                field=self._field,
+                bit_width=self._bit_width,
+                round_hook=self._round_hook,
             )
             self.allocated.append(committee)
             return committee

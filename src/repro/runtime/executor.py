@@ -23,6 +23,25 @@ simulated (small-scale) deployment:
 Plans whose ``em`` chose the FHE exponentiation instantiation execute via
 the Gumbel-noise form, which samples from the *identical* distribution
 (the Gumbel-max trick) — see DESIGN.md's substitution table.
+
+Fault tolerance
+---------------
+
+When a :class:`~repro.faults.FaultInjector` is attached, the run is split
+into named phases (``keygen``, ``input``, ``decrypt``, ``program``), each
+wrapped in a round-timeout/retry loop: an injected crash, long straggle,
+equivocation, or VSR quorum loss fails the phase, the executor backs off
+and replays it against the next committee from the pool (the §5.1
+fallback of moving a task to committee i+1 mod c). Committees parked with
+live secrets (the keygen committee holding the Paillier key limbs)
+survive member churn via Shamir threshold recovery
+(:meth:`Committee.recover_shares`). Every value-relevant random draw in a
+chaos run comes from a labelled substream of the injector's master seed
+rather than from global stream position, so a recovered run releases a
+result *bit-identical* to its fault-free twin; once the schedule exceeds
+what §5.1 tolerates the executor raises a typed
+:class:`~repro.faults.UnrecoverableFault` carrying the full event log —
+never a hang, never a silently wrong answer.
 """
 
 from __future__ import annotations
@@ -30,11 +49,25 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..crypto import paillier
 from ..crypto.sortition import jointly_generate_block
+from ..crypto.vsr import VSRError
 from ..crypto.zkp import one_hot_statement, prove, range_statement
+from ..faults import (
+    PENDING,
+    RECOVERED,
+    RESTORE,
+    TOLERATED,
+    UNDETECTED,
+    UNRECOVERABLE,
+    EventLog,
+    FaultInjector,
+    InjectedFailure,
+    UnrecoverableFault,
+)
+from ..mpc.engine import CheatingDetected, SecretValue
 from ..mpc.protocols import (
     FIXPOINT_SCALE,
     shared_gumbel_noise,
@@ -52,9 +85,20 @@ from .certificate import (
     plan_digest,
     verify_certificate,
 )
-from .committee import Committee, CommitteePool, bigint_to_limbs, limbs_to_bigint
+from .committee import (
+    Committee,
+    CommitteeError,
+    CommitteePool,
+    bigint_to_limbs,
+    limbs_to_bigint,
+)
 from .interp import MechanismHooks, Secret, SecureInterpreter
 from .network import FederatedNetwork
+
+#: Failures the phase-retry loop knows how to recover from by failing the
+#: task over to a fresh committee and replaying. Everything else (budget
+#: rejection, pool exhaustion, genuine protocol corruption) propagates.
+RECOVERABLE_FAULTS = (InjectedFailure, CheatingDetected, VSRError)
 
 
 class QueryRejected(Exception):
@@ -76,10 +120,26 @@ class QueryResult:
     epsilon_charged: float
     events: List[str] = field(default_factory=list)
     authorization: Optional[QueryAuthorizationCertificate] = None
+    #: Present only for chaos runs: the injected-fault/recovery ledger.
+    fault_log: Optional[EventLog] = None
 
     @property
     def value(self) -> object:
         return self.outputs[0] if self.outputs else None
+
+
+@dataclass
+class _HeldSecrets:
+    """A committee parked mid-run with secret shares later phases need.
+
+    If members of such a committee churn, failover alone cannot help — a
+    fresh committee would not hold the secrets — so the recovery runtime
+    re-shares the vectors among the survivors instead
+    (:meth:`Committee.recover_shares`).
+    """
+
+    committee: Committee
+    vectors: Dict[str, List[SecretValue]]
 
 
 def hashlib_sha256_int(value: int) -> bytes:
@@ -102,6 +162,8 @@ class QueryExecutor:
         rng: Optional[random.Random] = None,
         accountant: Optional[PrivacyAccountant] = None,
         verify_plan: bool = True,
+        faults: Optional[FaultInjector] = None,
+        max_phase_retries: int = 3,
     ):
         self.network = network
         self.planning = planning
@@ -110,13 +172,23 @@ class QueryExecutor:
         self.env = self.logical.env
         self.committee_size = committee_size
         self.key_prime_bits = key_prime_bits
-        self.rng = rng or random.Random()
+        # Default to a stream forked off the network's: the executor must
+        # never run from an unseeded generator (reproducibility, R2 lint).
+        self.rng = rng if rng is not None else random.Random(network.rng.getrandbits(64))
         self.accountant = accountant
+        self.faults = faults
+        self.max_phase_retries = max_phase_retries
         self.events: List[str] = []
         self.pool: Optional[CommitteePool] = None
         self.certificate: Optional[QueryAuthorizationCertificate] = None
         self._select_choice = self._find_choice("select_max")
         self._input_choice = self._find_choice("input")
+        self._budget_charged = False
+        self._held_secrets: List[_HeldSecrets] = []
+        self._keygen_committee: Optional[Committee] = None
+        self._key_shares: Optional[Dict[str, List[SecretValue]]] = None
+        self._noise_seq = 0
+        self._laplace_seq = 0
 
     # ------------------------------------------------------------- plumbing
 
@@ -133,7 +205,176 @@ class QueryExecutor:
         self.events.append(message)
 
     def _allocate(self, name: str) -> Committee:
-        return self.pool.allocate(name)
+        committee = self.pool.allocate(name)
+        if self.faults is not None:
+            phase = self.faults.current_phase
+            if phase is not None:
+                # Symbolic fault targets like "keygen#1" name members of
+                # the *first* committee a phase allocated.
+                self.faults.note_allocation(phase, committee)
+        self._checkpoint()
+        return committee
+
+    def _fresh(self, label: str) -> random.Random:
+        """The stream backing one value-relevant draw.
+
+        In a chaos run this is the injector's labelled substream — stable
+        across phase replays, so recovery re-derives identical noise, bin
+        placements, and sampling offsets. Without an injector it is the
+        executor's own rng, keeping the legacy path bit-compatible.
+        """
+        if self.faults is None:
+            return self.rng
+        return self.faults.fresh(label)
+
+    def _checkpoint(self) -> None:
+        """A phase-internal boundary where armed faults may fire."""
+        if self.faults is not None:
+            self.faults.maybe_fail()
+
+    # ------------------------------------------------------ phase machinery
+
+    def _phase(self, label: str, fn: Callable[[], object]) -> object:
+        """Run one protocol phase under the fault-recovery contract.
+
+        Recoverable failures (round timeouts, detected cheating, lost VSR
+        quorums) trigger a bounded retry: exponential backoff, then the
+        phase replays from scratch — allocations inside ``fn`` naturally
+        fail over to the next committee in the pool. Exhausting the retry
+        budget or the pool itself raises :class:`UnrecoverableFault` with
+        the full event log attached.
+        """
+        if self.faults is None:
+            return fn()
+        inj = self.faults
+        inj.begin_phase(label)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self._apply_population_faults(label)
+                result = fn()
+            except CommitteeError as exc:
+                inj.log.resolve_phase(
+                    label,
+                    UNRECOVERABLE,
+                    recovery=f"recovery attempted and failed: {exc}",
+                )
+                inj.finish()
+                raise UnrecoverableFault(
+                    f"phase {label!r} cannot recover: {exc}", inj.log
+                ) from exc
+            except RECOVERABLE_FAULTS as exc:
+                if attempt > self.max_phase_retries:
+                    inj.log.resolve_phase(
+                        label,
+                        UNRECOVERABLE,
+                        recovery=f"retry budget ({self.max_phase_retries}) exhausted",
+                    )
+                    inj.finish()
+                    raise UnrecoverableFault(
+                        f"phase {label!r} failed after {attempt} attempts: {exc}",
+                        inj.log,
+                    ) from exc
+                inj.backoff(attempt)
+                self._log(
+                    f"phase {label}: {type(exc).__name__}: {exc}; backing off "
+                    f"and replaying with a fresh committee (attempt {attempt + 1})"
+                )
+                continue
+            if attempt > 1:
+                inj.log.resolve_phase(
+                    label,
+                    RECOVERED,
+                    recovery="task failed over to the next committee and the "
+                    "phase was replayed (§5.1)",
+                )
+            return result
+
+    def _apply_population_faults(self, phase: str) -> None:
+        """Consume this phase's churn events (idempotent across replays)."""
+        inj = self.faults
+        for event in inj.population_events(phase):
+            devices = inj.resolve_devices(event)
+            if event.kind == RESTORE:
+                self.network.restore(devices)
+                inj.log.record(
+                    event,
+                    detection=f"devices {devices} re-announced themselves",
+                    recovery="restored to the population; eligible for future "
+                    "committees, no replay needed",
+                    outcome=TOLERATED,
+                )
+                continue
+            self.network.take_offline(devices)
+            rec = inj.log.record(
+                event,
+                detection=f"devices {devices} stopped responding "
+                "(missed round heartbeat)",
+                recovery=PENDING,
+            )
+            self._recover_held_secrets(devices, rec)
+
+    def _recover_held_secrets(self, devices: List[int], rec) -> None:
+        """Re-share live secrets held by committees the churn just hit."""
+        lost = set(devices)
+        for held in self._held_secrets:
+            committee = held.committee
+            departed = [m for m in committee.members if m in lost]
+            if not departed:
+                continue
+            before = committee.size
+            # CommitteeError (survivors below the reconstruction quorum)
+            # propagates to the phase machinery: the key material is gone
+            # for good, which is exactly the unrecoverable case.
+            held.vectors.update(
+                committee.recover_shares(held.vectors, departed, self.rng)
+            )
+            limbs = sum(len(v) for v in held.vectors.values())
+            rec.recovery = (
+                f"{committee.size} of {before} members of the "
+                f"{committee.name!r} committee re-shared {limbs} live secret "
+                "limbs among themselves (Shamir threshold recovery)"
+            )
+            rec.outcome = RECOVERED
+            self._log(
+                f"recovered {committee.name} shares after losing {departed}"
+            )
+        if rec.outcome == PENDING:
+            rec.recovery = (
+                "no committee holding live secrets was affected; §5.1 "
+                "sizing absorbs the churn"
+            )
+            rec.outcome = TOLERATED
+
+    def _vsr_send(
+        self,
+        sender: Committee,
+        values: List[SecretValue],
+        recipient: Committee,
+    ) -> List[SecretValue]:
+        """VSR transfer, with the lost-message fault path threaded through."""
+        if self.faults is None:
+            return sender.send_via_vsr(values, recipient)
+        event = self.faults.take_vsr_loss()
+        if event is None:
+            return sender.send_via_vsr(values, recipient)
+        lost_dealer = sender.members[0]
+        rec = self.faults.log.record(
+            event,
+            detection=f"dealer {lost_dealer}'s redistribution message never "
+            "arrived (mailbox timeout)",
+            recovery=PENDING,
+        )
+        out = sender.send_via_vsr(
+            values, recipient, exclude_members=[lost_dealer]
+        )
+        rec.recovery = (
+            f"reconstructed from a surviving quorum of "
+            f"{sender.threshold + 1} dealers (VSR tolerates missing messages)"
+        )
+        rec.outcome = RECOVERED
+        return out
 
     # ------------------------------------------------------------------ run
 
@@ -150,43 +391,34 @@ class QueryExecutor:
         m = self.committee_size
         max_committees = max(1, n // m)
         assignment = self.network.select_committees(max_committees, m)
+        round_hook = self.faults.on_round if self.faults is not None else None
         self.pool = CommitteePool(
             assignment.committees,
             self.rng,
             online_filter=self.network.online_members,
+            round_hook=round_hook,
         )
         self._log(f"sortition: {max_committees} committees of {m} from {n} devices")
 
-        keygen_committee, secret_key, key_limb_shares = self._keygen()
+        secret_key = self._phase("keygen", self._phase_keygen)
         public_key = secret_key.public
 
         bins, sampling_plan = self._sampling_plan()
-        aggregator = AggregatorNode(public_key)
-        self._submit_inputs(aggregator, public_key, bins)
-        accepted = aggregator.verify_uploads()
-        if not accepted:
-            raise ExecutionError("every upload was rejected")
-        self._log(
-            f"inputs: {len(accepted)} accepted, {len(aggregator.rejected)} rejected"
+        aggregator, totals, audits_failed = self._phase(
+            "input", lambda: self._phase_input(public_key, bins)
         )
-        aggregator.commit_step("inputs", ciphertext_vector_digest(
-            [u.ciphertexts[0] for u in accepted]
-        ))
 
-        totals = aggregator.aggregate(accepted)
-        aggregator.commit_step("aggregate", ciphertext_vector_digest(totals))
-        audits_failed = aggregator.run_audits(self.rng, auditors=min(n, 16))
-        if audits_failed:
-            raise ExecutionError(f"{audits_failed} participant audits failed")
-
-        counts, dec_committee = self._decrypt(
-            totals, keygen_committee, key_limb_shares, secret_key, sampling_plan
+        counts, dec_committee = self._phase(
+            "decrypt", lambda: self._decrypt(totals, secret_key, sampling_plan)
         )
         self._log(f"decrypted aggregate of {len(counts)} categories")
 
-        outputs = self._run_program(counts, dec_committee)
+        outputs = self._phase(
+            "program", lambda: self._run_program(counts, dec_committee)
+        )
         committees_used = len(self.pool.allocated)
         self._log(f"done: {committees_used} committees participated")
+        fault_log = self.faults.finish() if self.faults is not None else None
         return QueryResult(
             outputs=outputs,
             rejected_devices=list(aggregator.rejected),
@@ -195,14 +427,16 @@ class QueryExecutor:
             epsilon_charged=self.planning.certificate.epsilon,
             events=list(self.events),
             authorization=self.certificate,
+            fault_log=fault_log,
         )
 
     # ---------------------------------------------------------------- setup
 
-    def _keygen(self) -> Tuple[Committee, paillier.PaillierPrivateKey, Dict[str, List[Secret]]]:
+    def _phase_keygen(self) -> paillier.PaillierPrivateKey:
         committee = self._allocate("keygen")
-        # Budget check happens before any key material is produced (§5.2).
-        if self.accountant is not None:
+        # Budget check happens before any key material is produced (§5.2);
+        # the charge is guarded so a keygen replay cannot double-bill.
+        if self.accountant is not None and not self._budget_charged:
             cost = PrivacyCost(
                 self.planning.certificate.epsilon, self.planning.certificate.delta
             )
@@ -211,22 +445,24 @@ class QueryExecutor:
                     f"privacy budget exhausted for {self.logical.query_name!r}"
                 )
             self.accountant.charge(cost, self.logical.query_name)
-        secret_key = paillier.keygen(self.key_prime_bits, self.rng)
+            self._budget_charged = True
+        secret_key = paillier.keygen(self.key_prime_bits, self._fresh("keygen"))
         limb_count = math.ceil((2 * self.key_prime_bits + 8) / 96) + 1
-        shares = {
+        shares: Dict[str, List[SecretValue]] = {
             "lam": [
-                Secret(committee.engine.input_value(limb))
+                committee.engine.input_value(limb)
                 for limb in bigint_to_limbs(secret_key.lam, limb_count)
             ],
             "mu": [
-                Secret(committee.engine.input_value(limb))
+                committee.engine.input_value(limb)
                 for limb in bigint_to_limbs(secret_key.mu, limb_count)
             ],
         }
         # Jointly generate the next round's randomness (B_{i+1} = xor of
         # member inputs).
+        block_rng = self._fresh("block")
         contributions = {
-            member: self.rng.getrandbits(256).to_bytes(32, "big")
+            member: block_rng.getrandbits(256).to_bytes(32, "big")
             for member in committee.members
         }
         next_block = jointly_generate_block(contributions)
@@ -256,7 +492,12 @@ class QueryExecutor:
         verify_certificate(self.certificate, member_secrets)
         self.network.advance_round(next_block)
         self._log(f"keygen committee {committee.members} issued the certificate")
-        return committee, secret_key, shares
+        self._keygen_committee = committee
+        self._key_shares = shares
+        # The keygen committee is now parked holding the only copies of
+        # the key-limb shares — register it for churn recovery.
+        self._held_secrets = [_HeldSecrets(committee, shares)]
+        return secret_key
 
     def _sampling_plan(self) -> Tuple[int, Optional[BinSamplingPlan]]:
         if self.logical.sample_fraction >= 1.0:
@@ -268,6 +509,59 @@ class QueryExecutor:
         return bins, plan
 
     # ---------------------------------------------------------------- input
+
+    def _phase_input(
+        self, public_key: paillier.PaillierPublicKey, bins: int
+    ) -> Tuple[AggregatorNode, List[paillier.PaillierCiphertext], int]:
+        aggregator = AggregatorNode(public_key)
+        garbage = self._apply_garbage_faults()
+        self._submit_inputs(aggregator, public_key, bins)
+        accepted = aggregator.verify_uploads()
+        self._resolve_garbage_faults(garbage, aggregator)
+        if not accepted:
+            raise ExecutionError("every upload was rejected")
+        self._log(
+            f"inputs: {len(accepted)} accepted, {len(aggregator.rejected)} rejected"
+        )
+        aggregator.commit_step("inputs", ciphertext_vector_digest(
+            [u.ciphertexts[0] for u in accepted]
+        ))
+
+        totals = aggregator.aggregate(accepted)
+        aggregator.commit_step("aggregate", ciphertext_vector_digest(totals))
+        audits_failed = aggregator.run_audits(
+            self._fresh("audit"), auditors=min(len(self.network), 16)
+        )
+        if audits_failed:
+            raise ExecutionError(f"{audits_failed} participant audits failed")
+        self._checkpoint()
+        return aggregator, totals, audits_failed
+
+    def _apply_garbage_faults(self) -> List[Tuple[object, List[int]]]:
+        """Flip scheduled devices to malicious so they upload garbage."""
+        if self.faults is None:
+            return []
+        applied = []
+        for event in self.faults.garbage_events("input"):
+            devices = self.faults.resolve_devices(event)
+            for device_id in devices:
+                self.network.device(device_id).malicious = True
+            applied.append((event, devices))
+        return applied
+
+    def _resolve_garbage_faults(
+        self, applied: List[Tuple[object, List[int]]], aggregator: AggregatorNode
+    ) -> None:
+        for event, devices in applied:
+            caught = set(devices) <= set(aggregator.rejected)
+            self.faults.log.record(
+                event,
+                detection=f"well-formedness ZKP rejected upload(s) from "
+                f"{[d for d in devices if d in aggregator.rejected]}",
+                recovery="malformed ciphertext vectors dropped before "
+                "aggregation; remaining uploads unaffected",
+                outcome=RECOVERED if caught else UNDETECTED,
+            )
 
     def _submit_inputs(
         self,
@@ -288,19 +582,28 @@ class QueryExecutor:
         for device in self.network.devices:
             if not device.online:
                 continue  # churned devices simply never upload
-            vector = self._encode_row(device, categories, bins, one_hot, width)
-            cts = [paillier.encrypt(public_key, v, self.rng) for v in vector]
+            # Per-device streams: one device dropping out must not shift
+            # any other device's bin placement or encryption randomness.
+            dev_rng = self._fresh(f"upload/{device.device_id}")
+            vector = self._encode_row(device, categories, bins, one_hot, width, dev_rng)
+            cts = [paillier.encrypt(public_key, v, dev_rng) for v in vector]
             digest = ciphertext_vector_digest(cts)
             proof = prove(statement, vector, device.device_id, round_number, digest)
             aggregator.receive_upload(Upload(device.device_id, cts, proof, vector))
 
     def _encode_row(
-        self, device, categories: int, bins: int, one_hot: bool, width: int
+        self,
+        device,
+        categories: int,
+        bins: int,
+        one_hot: bool,
+        width: int,
+        rng: random.Random,
     ) -> List[int]:
         if one_hot:
             vector = [0] * width
             category = int(device.value) % categories
-            bin_index = self.rng.randrange(bins) if bins > 1 else 0
+            bin_index = rng.randrange(bins) if bins > 1 else 0
             vector[bin_index * categories + category] = 1
             if device.malicious:
                 # Malformed upload: claim membership in several categories.
@@ -323,8 +626,6 @@ class QueryExecutor:
     def _decrypt(
         self,
         totals: List[paillier.PaillierCiphertext],
-        keygen_committee: Committee,
-        key_limb_shares: Dict[str, List[Secret]],
         secret_key: paillier.PaillierPrivateKey,
         sampling_plan: Optional[BinSamplingPlan],
     ) -> Tuple[List[int], Committee]:
@@ -332,11 +633,12 @@ class QueryExecutor:
         # The private key travels as secret shares via VSR (§5.2); the
         # decryption committee reconstructs it inside its honest-majority
         # quorum and jointly decrypts.
-        moved_lam = keygen_committee.send_via_vsr(
-            [s.value for s in key_limb_shares["lam"]], dec_committee
+        keygen_committee = self._keygen_committee
+        moved_lam = self._vsr_send(
+            keygen_committee, self._key_shares["lam"], dec_committee
         )
-        moved_mu = keygen_committee.send_via_vsr(
-            [s.value for s in key_limb_shares["mu"]], dec_committee
+        moved_mu = self._vsr_send(
+            keygen_committee, self._key_shares["mu"], dec_committee
         )
         lam = limbs_to_bigint([dec_committee.engine.open(v) for v in moved_lam])
         mu = limbs_to_bigint([dec_committee.engine.open(v) for v in moved_mu])
@@ -347,7 +649,7 @@ class QueryExecutor:
         if sampling_plan is not None:
             # Secrecy of the sample (§6): the committee privately picks the
             # window offset and only the binned window contributes.
-            offset = sampling_plan.choose_committee_offset(self.rng)
+            offset = sampling_plan.choose_committee_offset(self._fresh("sampling"))
             mask = sampling_plan.selection_mask(offset)
             categories = self.env.row_width
             binned = [
@@ -366,9 +668,13 @@ class QueryExecutor:
     # ------------------------------------------------------------- program
 
     def _run_program(self, counts: List[int], dec_committee: Committee) -> List[object]:
+        # Reset the noise-stream counters so a phase replay re-derives the
+        # identical labelled substreams (bit-identical recovery).
+        self._noise_seq = 0
+        self._laplace_seq = 0
         ops_committee = self._allocate("operations")
         shared_counts = dec_committee.share_values(counts)
-        moved = dec_committee.send_via_vsr(shared_counts, ops_committee)
+        moved = self._vsr_send(dec_committee, shared_counts, ops_committee)
         aggregate = [Secret(v) for v in moved]
 
         hooks = MechanismHooks(
@@ -417,16 +723,19 @@ class QueryExecutor:
         winners: List[int] = []
 
         def noise_all() -> List[Tuple[int, Secret, Committee]]:
+            seq = self._noise_seq
+            self._noise_seq += 1
             noised: List[Tuple[int, Secret, Committee]] = []
             for start in range(0, len(scores), noise_batch):
                 batch = scores[start : start + noise_batch]
                 committee = self._allocate(f"noise[{start}]")
-                moved = ops_committee.send_via_vsr(
-                    [s.value for s in batch], committee
+                noise_rng = self._fresh(f"noise/em{seq}/{start}")
+                moved = self._vsr_send(
+                    ops_committee, [s.value for s in batch], committee
                 )
                 for offset, value in enumerate(moved):
                     scaled = committee.engine.mul_public(value, FIXPOINT_SCALE)
-                    noise = shared_gumbel_noise(committee.engine, scale, self.rng)
+                    noise = shared_gumbel_noise(committee.engine, scale, noise_rng)
                     noised.append(
                         (
                             start + offset,
@@ -468,12 +777,12 @@ class QueryExecutor:
                 moved: List[Tuple[Secret, Secret]] = []
                 for index, secret, home in group:
                     if isinstance(index, Secret):
-                        idx_sv, val_sv = home.send_via_vsr(
-                            [index.value, secret.value], committee
+                        idx_sv, val_sv = self._vsr_send(
+                            home, [index.value, secret.value], committee
                         )
                         moved.append((Secret(idx_sv), Secret(val_sv)))
                     else:
-                        val_sv = home.send_via_vsr([secret.value], committee)[0]
+                        val_sv = self._vsr_send(home, [secret.value], committee)[0]
                         moved.append(
                             (Secret(committee.engine.constant(index)), Secret(val_sv))
                         )
@@ -499,10 +808,19 @@ class QueryExecutor:
     def _run_laplace(
         self, ops_committee: Committee, value: Secret, scale: float
     ) -> float:
+        seq = self._laplace_seq
+        self._laplace_seq += 1
         committee = self._allocate("laplace")
-        moved = ops_committee.send_via_vsr([value.value], committee)[0]
+        moved = self._vsr_send(ops_committee, [value.value], committee)[0]
         scaled = committee.engine.mul_public(moved, FIXPOINT_SCALE)
-        noise = shared_laplace_noise(committee.engine, scale, self.rng)
+        # In a chaos run the contribution count is pinned to the *planned*
+        # committee size, so churn-trimmed committees draw identical noise.
+        noise = shared_laplace_noise(
+            committee.engine,
+            scale,
+            self._fresh(f"noise/laplace{seq}"),
+            contributors=self.committee_size if self.faults is not None else None,
+        )
         noised = committee.engine.add(scaled, noise)
         result = committee.engine.open(noised)
         self._log("laplace release")

@@ -46,10 +46,17 @@ class FederatedNetwork:
         num_devices: int,
         rng: Optional[random.Random] = None,
         malicious_fraction: float = 0.0,
+        seed: Optional[int] = None,
     ):
         if num_devices < 4:
             raise ValueError("a federated deployment needs at least 4 devices")
-        self.rng = rng or random.Random()
+        if rng is None and seed is None:
+            raise ValueError(
+                "FederatedNetwork needs an explicit rng= or seed=; an "
+                "unseeded deployment cannot be replayed, which breaks both "
+                "reproducibility and fault-recovery equivalence checks"
+            )
+        self.rng = rng if rng is not None else random.Random(seed)
         self.devices: List[Device] = []
         for device_id in range(1, num_devices + 1):
             secret = self.rng.getrandbits(128).to_bytes(16, "big")
@@ -92,6 +99,11 @@ class FederatedNetwork:
         """Churn hook: the listed devices stop responding."""
         for device_id in device_ids:
             self.device(device_id).online = False
+
+    def restore(self, device_ids: Sequence[int]) -> None:
+        """Churn hook: previously offline devices come back mid-execution."""
+        for device_id in device_ids:
+            self.device(device_id).online = True
 
     def online_members(self, members: Sequence[int]) -> List[int]:
         return [m for m in members if self.device(m).online]

@@ -8,11 +8,13 @@ about because they encode *this* codebase's safety conventions:
   objects (``BGVCiphertext``/``PaillierCiphertext``) directly; the
   behavioural crypto models keep their plaintext slots private and the
   only sanctioned read is ``decrypt`` with the matching key.
-* **R2 no-unseeded-rng** — inside ``privacy/`` and ``mpc/`` every random
-  draw must come from an explicitly threaded ``random.Random`` instance:
-  no module-level ``random.random()``-style calls and no zero-argument
-  ``random.Random()`` constructions. DP noise and MPC shares drawn from
-  an ambient, unseedable stream are untestable and unauditable.
+* **R2 no-unseeded-rng** — inside ``privacy/``, ``mpc/``, and
+  ``runtime/`` every random draw must come from an explicitly threaded
+  ``random.Random`` instance: no module-level ``random.random()``-style
+  calls and no zero-argument ``random.Random()`` constructions. DP noise,
+  MPC shares, and protocol decisions drawn from an ambient, unseedable
+  stream are untestable, unauditable, and unreplayable — the
+  fault-recovery runtime depends on every run being exactly replayable.
 * **R3 no-float-on-secret** — in the MPC/secret-sharing modules, values
   annotated as ``SecretValue``/``Share`` are field elements; true
   division or mixing with float literals silently leaves the field.
@@ -81,7 +83,7 @@ LINT_RULES: Tuple[LintRule, ...] = (
     ),
     LintRule(
         "no-unseeded-rng",
-        "privacy/, mpc/",
+        "privacy/, mpc/, runtime/",
         "no global-stream random.* calls, no zero-argument random.Random()",
     ),
     LintRule(
@@ -130,7 +132,9 @@ class _FileLinter(ast.NodeVisitor):
         self.lines = source.splitlines()
         parts = path.parts
         self.in_crypto = "crypto" in parts
-        self.in_rng_scope = "privacy" in parts or "mpc" in parts
+        self.in_rng_scope = (
+            "privacy" in parts or "mpc" in parts or "runtime" in parts
+        )
         self.in_field_scope = "mpc" in parts or (
             self.in_crypto and path.name in _FIELD_ARITHMETIC_FILES
         )
