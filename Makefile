@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: install test lint bench bench-planner bench-planner-smoke chaos-smoke check eval examples artifacts all
+.PHONY: install test lint bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke check eval examples artifacts all
 
 install:
 	python setup.py develop
@@ -27,10 +27,16 @@ bench-planner:
 bench-planner-smoke:
 	python benchmarks/bench_planner.py --smoke --out BENCH_planner.json
 
+bench-runtime:
+	python benchmarks/bench_runtime.py --reps 3 --out BENCH_runtime.json
+
+bench-runtime-smoke:
+	python benchmarks/bench_runtime.py --smoke --out BENCH_runtime.json
+
 chaos-smoke:
 	python -m repro chaos --scenario all --devices 32 --committee-size 4
 
-check: lint test bench-planner-smoke chaos-smoke
+check: lint test bench-planner-smoke bench-runtime-smoke chaos-smoke
 
 eval:
 	python -m repro eval all

@@ -1,0 +1,287 @@
+"""Execution data-plane benchmark: vectorized kernels vs the seed runtime.
+
+Times the hot execution path at three granularities and writes
+``BENCH_runtime.json`` so later changes have a perf trajectory:
+
+* **slot kernels** — BGV SIMD addition over full 2^15-slot ciphertexts,
+  numpy array kernel vs an inline copy of the seed's per-element tuple
+  loop (slot-ops/sec);
+* **secret sharing** — batched Vandermonde ``share_vector`` vs the
+  retained per-secret Horner reference (shares/sec, identical RNG draws
+  and outputs);
+* **end-to-end queries** — a full top-1 query (keygen, uploads + ZKPs,
+  aggregation, VSR, MPC program) at several device counts under both data
+  planes: ``legacy`` (one Paillier ciphertext per logical slot, sequential
+  folds — the seed behaviour) and ``vectorized`` (packed slots, batched
+  sharing, tree reductions). Both planes release byte-identical
+  ``QueryResult``s — ``tests/test_runtime_equivalence.py`` asserts that —
+  so this measures pure data-plane speed.
+
+Protocol: every configuration gets one untimed warmup, then ``--reps``
+timed runs, reporting the median. Device-side upload throughput
+(uploads/sec) comes from the executor's own ``RuntimeStatistics``.
+
+Usage::
+
+    python benchmarks/bench_runtime.py --reps 3 --out BENCH_runtime.json
+    python benchmarks/bench_runtime.py --smoke   # small counts, regression gate
+
+``--smoke`` (used by ``make check`` / CI) runs the two smallest device
+counts once and fails if the vectorized plane got more than 2x slower
+than the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.crypto import bgv, shamir  # noqa: E402
+from repro.crypto.field import MERSENNE_127, PrimeField  # noqa: E402
+from repro.analysis.ranges import Interval  # noqa: E402
+from repro.analysis.types import QueryEnvironment, ValueType  # noqa: E402
+from repro.planner.search import plan_query  # noqa: E402
+from repro.runtime.executor import QueryExecutor  # noqa: E402
+from repro.runtime.network import FederatedNetwork  # noqa: E402
+
+TOP1 = "aggr = sum(db); r = em(aggr); output(r);"
+DEVICE_COUNTS = [64, 256, 1024, 4096]
+SMOKE_COUNTS = [64, 256]
+CATEGORIES = 8
+KEY_PRIME_BITS = 128
+SEED = 11
+
+
+# --------------------------------------------------------------- microbench
+
+
+def _legacy_bgv_add(a, b, t):
+    """The seed kernel: an interpreted per-slot tuple walk."""
+    return tuple((x + y) % t for x, y in zip(a, b))
+
+
+def bench_bgv_add(reps: int) -> dict:
+    params = bgv.BGVParams()
+    sk = bgv.keygen(params, random.Random(SEED))
+    rng = random.Random(SEED + 1)
+    values_a = [rng.randrange(params.plaintext_modulus) for _ in range(params.slots)]
+    values_b = [rng.randrange(params.plaintext_modulus) for _ in range(params.slots)]
+    ct_a = bgv.encrypt(sk.public, values_a)
+    ct_b = bgv.encrypt(sk.public, values_b)
+    tup_a, tup_b = tuple(values_a), tuple(values_b)
+    t = params.plaintext_modulus
+    inner = 10
+
+    legacy_samples, vector_samples = [], []
+    for rep in range(reps + 1):
+        started = time.perf_counter()
+        for _ in range(inner):
+            _legacy_bgv_add(tup_a, tup_b, t)
+        if rep:
+            legacy_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        for _ in range(inner):
+            bgv.add(ct_a, ct_b)
+        if rep:
+            vector_samples.append(time.perf_counter() - started)
+    ops = inner * params.slots
+    legacy = ops / statistics.median(legacy_samples)
+    vector = ops / statistics.median(vector_samples)
+    return {
+        "slots": params.slots,
+        "legacy_slot_ops_per_second": legacy,
+        "vectorized_slot_ops_per_second": vector,
+        "speedup": vector / legacy,
+    }
+
+
+def bench_share_vector(reps: int) -> dict:
+    field = PrimeField(MERSENNE_127)
+    rng = random.Random(SEED)
+    values = [rng.randrange(field.modulus) for _ in range(256)]
+    party_ids = [1, 2, 3, 4, 5]
+    threshold = 2
+
+    legacy_samples, vector_samples = [], []
+    for rep in range(reps + 1):
+        started = time.perf_counter()
+        shamir.share_vector_reference(
+            values, threshold, party_ids, field, random.Random(SEED)
+        )
+        if rep:
+            legacy_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        shamir.share_vector(values, threshold, party_ids, field, random.Random(SEED))
+        if rep:
+            vector_samples.append(time.perf_counter() - started)
+    shares = len(values) * len(party_ids)
+    legacy = shares / statistics.median(legacy_samples)
+    vector = shares / statistics.median(vector_samples)
+    return {
+        "secrets": len(values),
+        "parties": len(party_ids),
+        "legacy_shares_per_second": legacy,
+        "vectorized_shares_per_second": vector,
+        "speedup": vector / legacy,
+    }
+
+
+# -------------------------------------------------------------- end-to-end
+
+
+def _run_query(devices: int, data_plane: str):
+    env = QueryEnvironment(
+        num_participants=devices,
+        row_width=CATEGORIES,
+        db_element=ValueType("int", Interval(0.0, 1.0)),
+        epsilon=4.0,
+        sensitivity=1.0,
+        row_encoding="one_hot",
+    )
+    planning = plan_query(TOP1, env, name="bench-top1")
+    network = FederatedNetwork(devices, rng=random.Random(SEED))
+    network.load_categorical_data(CATEGORIES)
+    executor = QueryExecutor(
+        network,
+        planning,
+        committee_size=4,
+        key_prime_bits=KEY_PRIME_BITS,
+        rng=random.Random(SEED + 1),
+        data_plane=data_plane,
+    )
+    started = time.perf_counter()
+    result = executor.run()
+    return time.perf_counter() - started, result
+
+
+def bench_e2e(device_counts, reps: int):
+    rows = []
+    for devices in device_counts:
+        medians = {}
+        stats = None
+        legacy_result = None
+        for plane in ("legacy", "vectorized"):
+            samples = []
+            for rep in range(reps + 1):  # rep 0 is the untimed warmup
+                seconds, result = _run_query(devices, plane)
+                if rep:
+                    samples.append(seconds)
+            medians[plane] = statistics.median(samples)
+            if plane == "legacy":
+                legacy_result = result
+            else:
+                stats = result.statistics
+                if result != legacy_result:
+                    raise SystemExit(
+                        f"data planes disagree at {devices} devices — run "
+                        "the equivalence suite"
+                    )
+        uploads_per_second = (
+            stats.uploads_submitted / stats.submit_seconds
+            if stats.submit_seconds
+            else 0.0
+        )
+        rows.append(
+            {
+                "devices": devices,
+                "legacy_seconds": medians["legacy"],
+                "vectorized_seconds": medians["vectorized"],
+                "speedup": medians["legacy"] / medians["vectorized"],
+                "uploads_per_second": uploads_per_second,
+                "packing_lanes": stats.packing_lanes,
+            }
+        )
+        print(
+            f"{devices:5d} devices  legacy {medians['legacy']:7.2f} s  "
+            f"vectorized {medians['vectorized']:7.2f} s  "
+            f"{rows[-1]['speedup']:5.2f}x  "
+            f"{uploads_per_second:9.0f} uploads/s"
+        )
+    return rows
+
+
+def smoke(baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run 'make bench-runtime' first")
+        return 1
+    baseline = {
+        row["devices"]: row
+        for row in json.loads(baseline_path.read_text())["end_to_end"]
+    }
+    rows = bench_e2e(SMOKE_COUNTS, reps=1)
+    failures = []
+    for row in rows:
+        base = baseline.get(row["devices"])
+        if base is None:
+            continue
+        if row["vectorized_seconds"] > 2.0 * base["vectorized_seconds"]:
+            failures.append(
+                f"{row['devices']} devices: {row['vectorized_seconds']:.2f} s vs "
+                f"baseline {base['vectorized_seconds']:.2f} s (> 2x regression)"
+            )
+    if failures:
+        print("runtime benchmark regression:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("runtime smoke benchmark within 2x of committed baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3, help="timed repetitions")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_runtime.json"),
+        help="output path for the benchmark JSON",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small device counts, 1 rep; fail if the vectorized plane "
+        "regressed >2x vs the --out baseline",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke(Path(args.out))
+    micro = {
+        "bgv_add": bench_bgv_add(args.reps),
+        "share_vector": bench_share_vector(args.reps),
+    }
+    print(
+        f"bgv.add          {micro['bgv_add']['speedup']:6.1f}x  "
+        f"({micro['bgv_add']['vectorized_slot_ops_per_second']:.3g} slot-ops/s)"
+    )
+    print(
+        f"share_vector     {micro['share_vector']['speedup']:6.1f}x  "
+        f"({micro['share_vector']['vectorized_shares_per_second']:.3g} shares/s)"
+    )
+    rows = bench_e2e(DEVICE_COUNTS, args.reps)
+    largest = rows[-1]
+    payload = {
+        "benchmark": "runtime-data-plane",
+        "reps": args.reps,
+        "key_prime_bits": KEY_PRIME_BITS,
+        "categories": CATEGORIES,
+        "query": TOP1,
+        "microbenchmarks": micro,
+        "end_to_end": rows,
+        "e2e_speedup_at_largest": largest["speedup"],
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"e2e speedup at {largest['devices']} devices: "
+        f"{largest['speedup']:.2f}x -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -168,13 +168,24 @@ def cmd_run(args) -> int:
     )
     network.load_categorical_data(args.categories)
     executor = QueryExecutor(
-        network, result, committee_size=args.committee_size, rng=rng
+        network,
+        result,
+        committee_size=args.committee_size,
+        rng=rng,
+        data_plane=args.data_plane,
     )
     outcome = executor.run()
     for event in outcome.events:
         print(" ", event)
     print(f"rejected: {outcome.rejected_devices}")
     print(f"output(s): {outcome.outputs}")
+    if args.stats and outcome.statistics is not None:
+        print("runtime statistics:")
+        for key, value in outcome.statistics.as_dict().items():
+            if isinstance(value, float):
+                print(f"  {key}: {value:.6f}")
+            else:
+                print(f"  {key}: {value}")
     return 0
 
 
@@ -377,6 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--committee-size", type=int, default=4)
     run.add_argument("--malicious", type=float, default=0.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--data-plane",
+        choices=("vectorized", "legacy"),
+        default="vectorized",
+        help="execution data plane: packed/batched kernels or the seed "
+        "one-ciphertext-per-slot path (results are byte-identical)",
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime data-plane counters (uploads/sec, wall times)",
+    )
     run.set_defaults(func=cmd_run)
 
     queries = sub.add_parser("queries", help="list the built-in queries")

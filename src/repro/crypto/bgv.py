@@ -18,6 +18,23 @@ implementation (see DESIGN.md's substitution table):
   tables the paper cites [6]: bigger ciphertext moduli require bigger ring
   degrees for the same security level.
 
+Slot vectors are backed by numpy arrays so the homomorphic operations run
+as array kernels instead of interpreted per-slot loops. Two layouts exist:
+
+* an ``int64`` fast path, taken whenever every intermediate a kernel can
+  produce fits a machine word — a single slot product is bounded by
+  ``(t-1)^2``, so the fast path requires ``(t-1)^2 <= 2^63 - 1``
+  (i.e. ``t <= ~3.04e9``; the paper-typical ``t = 2^30`` qualifies), and
+  ``sum_ciphertexts`` additionally chunks its stacked reduction so partial
+  sums stay below ``2^63``;
+* an ``object``-dtype fallback for larger plaintext moduli, which keeps
+  exact Python big-int arithmetic elementwise.
+
+Both layouts produce slot values *byte-identical* to the historical
+per-element tuple implementation (``tests/test_bgv_kernels.py`` holds the
+equivalence suite), so digests, seeded replays, and the planner's cost
+accounting are unaffected by the vectorization.
+
 All performance numbers come from the calibrated cost model, matching the
 paper's own extrapolation methodology.
 """
@@ -26,7 +43,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
+
+import numpy as np
 
 # Security-standard table (ciphertext-modulus bits -> minimum log2(ring
 # degree) for >=128-bit security), coarsened from the HE standard [6].
@@ -39,6 +58,8 @@ _SECURITY_TABLE = [
     (881, 15),
 ]
 
+_INT64_MAX = (1 << 63) - 1
+
 
 def min_ring_degree_log2(ciphertext_modulus_bits: int) -> int:
     """Smallest log2(N) that keeps >=128-bit security for a modulus size."""
@@ -48,6 +69,11 @@ def min_ring_degree_log2(ciphertext_modulus_bits: int) -> int:
     raise ValueError(
         f"no standard parameter set covers a {ciphertext_modulus_bits}-bit modulus"
     )
+
+
+def _fast_path(plaintext_modulus: int) -> bool:
+    """True when one slot product (t-1)^2 fits a signed 64-bit word."""
+    return (plaintext_modulus - 1) * (plaintext_modulus - 1) <= _INT64_MAX
 
 
 @dataclass(frozen=True)
@@ -76,6 +102,11 @@ class BGVParams:
     @property
     def slots(self) -> int:
         return 1 << self.ring_degree_log2
+
+    @property
+    def slot_dtype(self):
+        """numpy dtype backing slot vectors under these parameters."""
+        return np.int64 if _fast_path(self.plaintext_modulus) else object
 
     @property
     def max_levels(self) -> int:
@@ -135,12 +166,14 @@ class BGVPrivateKey:
 class BGVCiphertext:
     """A ciphertext holding one value per SIMD slot.
 
+    ``slots`` is a numpy array (int64 fast path or object-dtype fallback,
+    see module docstring); sequences handed in by ``encrypt`` are coerced.
     ``level`` counts consumed multiplicative levels; once it exceeds
     ``params.max_levels`` the ciphertext is undecryptable (noise overflow),
     mirroring real BGV behaviour.
     """
 
-    slots: Tuple[int, ...] = field(repr=False)
+    slots: np.ndarray = field(repr=False)
     key_id: int
     params: BGVParams
     level: int = 0
@@ -148,6 +181,8 @@ class BGVCiphertext:
     def __post_init__(self):
         if len(self.slots) != self.params.slots:
             raise ValueError("slot vector length must equal the ring degree")
+        if not isinstance(self.slots, np.ndarray):
+            self.slots = _as_slot_array(self.slots, self.params)
 
 
 class NoiseBudgetExceeded(Exception):
@@ -160,15 +195,34 @@ def keygen(params: BGVParams, rng: random.Random = None) -> BGVPrivateKey:
     return BGVPrivateKey(BGVPublicKey(params, rng.getrandbits(63)))
 
 
-def _pad(values: Sequence[int], params: BGVParams) -> Tuple[int, ...]:
+def _as_slot_array(values: Sequence[int], params: BGVParams) -> np.ndarray:
+    """Coerce already-reduced slot values into the canonical array layout."""
+    dtype = params.slot_dtype
+    if isinstance(values, np.ndarray) and values.dtype == np.dtype(dtype):
+        return values
+    return np.array([int(v) for v in values], dtype=dtype)
+
+
+def _pad(values: Sequence[int], params: BGVParams) -> np.ndarray:
+    """Reduce mod t and zero-pad to the ring degree, as an array."""
     t = params.plaintext_modulus
-    padded = [v % t for v in values]
-    if len(padded) > params.slots:
+    if len(values) > params.slots:
         raise ValueError(
-            f"{len(padded)} values do not fit in {params.slots} slots"
+            f"{len(values)} values do not fit in {params.slots} slots"
         )
-    padded.extend([0] * (params.slots - len(padded)))
-    return tuple(padded)
+    dtype = params.slot_dtype
+    padded = np.zeros(params.slots, dtype=dtype)
+    if dtype is not object:
+        try:
+            arr = np.asarray(values, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            # Inputs wider than a machine word: reduce in Python first.
+            arr = np.asarray([v % t for v in values], dtype=np.int64)
+        padded[: len(arr)] = arr % t
+    else:
+        for i, v in enumerate(values):
+            padded[i] = int(v) % t
+    return padded
 
 
 def encrypt(pk: BGVPublicKey, values: Sequence[int]) -> BGVCiphertext:
@@ -180,6 +234,7 @@ def decrypt(sk: BGVPrivateKey, ct: BGVCiphertext, count: int = None) -> List[int
     """Decrypt the first ``count`` slots (all slots by default).
 
     Fails if the key does not match or the noise budget is exhausted.
+    Returned values are plain Python ints regardless of the slot layout.
     """
     if ct.key_id != sk.public.key_id:
         raise ValueError("ciphertext was produced under a different key")
@@ -187,7 +242,7 @@ def decrypt(sk: BGVPrivateKey, ct: BGVCiphertext, count: int = None) -> List[int
         raise NoiseBudgetExceeded(
             f"level {ct.level} exceeds budget {ct.params.max_levels}"
         )
-    values = list(ct.slots)
+    values = ct.slots.tolist()
     return values if count is None else values[:count]
 
 
@@ -200,14 +255,14 @@ def add(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     """Slot-wise homomorphic addition; noise grows negligibly."""
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = tuple((x + y) % t for x, y in zip(a.slots, b.slots))
+    slots = (a.slots + b.slots) % t
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
 
 
 def sub(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = tuple((x - y) % t for x, y in zip(a.slots, b.slots))
+    slots = (a.slots - b.slots) % t
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
 
 
@@ -215,14 +270,14 @@ def multiply(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     """Slot-wise homomorphic multiplication; consumes one level."""
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = tuple((x * y) % t for x, y in zip(a.slots, b.slots))
+    slots = (a.slots * b.slots) % t
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level) + 1)
 
 
 def add_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
     t = ct.params.plaintext_modulus
     padded = _pad(values, ct.params)
-    slots = tuple((x + y) % t for x, y in zip(ct.slots, padded))
+    slots = (ct.slots + padded) % t
     return BGVCiphertext(slots, ct.key_id, ct.params, ct.level)
 
 
@@ -230,26 +285,48 @@ def multiply_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
     """Plaintext multiplication; cheaper noise-wise than ct-ct multiply."""
     t = ct.params.plaintext_modulus
     padded = _pad(values, ct.params)
-    slots = tuple((x * y) % t for x, y in zip(ct.slots, padded))
+    slots = (ct.slots * padded) % t
     return BGVCiphertext(slots, ct.key_id, ct.params, ct.level + 1)
 
 
 def rotate(ct: BGVCiphertext, k: int) -> BGVCiphertext:
-    """Cyclically rotate slots left by k (a Galois automorphism in BGV)."""
+    """Cyclically rotate slots left by k (a Galois automorphism in BGV).
+
+    Negative ``k`` rotates right, matching Python slice semantics of the
+    historical tuple implementation (``k %= n`` first).
+    """
     n = ct.params.slots
     k %= n
-    slots = ct.slots[k:] + ct.slots[:k]
+    slots = np.roll(ct.slots, -k)
     return BGVCiphertext(slots, ct.key_id, ct.params, ct.level)
 
 
 def sum_ciphertexts(cts: Sequence[BGVCiphertext]) -> BGVCiphertext:
-    """Fold homomorphic addition over a non-empty ciphertext sequence."""
+    """Sum a non-empty ciphertext sequence with one stacked reduction.
+
+    Equivalent to folding :func:`add` left-to-right (field addition is
+    associative and every partial result is reduced mod t), but performed
+    as a single ``np.sum`` over the stacked slot matrix. On the int64 fast
+    path the reduction is chunked so no partial sum can exceed 2^63.
+    """
     if not cts:
         raise ValueError("cannot sum zero ciphertexts")
-    acc = cts[0]
+    first = cts[0]
     for ct in cts[1:]:
-        acc = add(acc, ct)
-    return acc
+        _check_compatible(first, ct)
+    t = first.params.plaintext_modulus
+    level = max(ct.level for ct in cts)
+    stack = np.stack([ct.slots for ct in cts])
+    if first.params.slot_dtype is object:
+        total = np.sum(stack, axis=0) % t
+    else:
+        # Each slot value is < t, so chunks of `chunk` rows cannot overflow:
+        # acc (< t) plus chunk*(t-1) stays within int64.
+        chunk = max(1, (_INT64_MAX - t) // max(t - 1, 1))
+        total = np.zeros(first.params.slots, dtype=np.int64)
+        for start in range(0, len(cts), chunk):
+            total = (total + np.sum(stack[start : start + chunk], axis=0)) % t
+    return BGVCiphertext(total, first.key_id, first.params, level)
 
 
 def total_sum_slots(ct: BGVCiphertext, width: int) -> BGVCiphertext:
@@ -257,7 +334,22 @@ def total_sum_slots(ct: BGVCiphertext, width: int) -> BGVCiphertext:
 
     This is the standard log-depth SIMD reduction; it uses rotations only,
     so it consumes no multiplicative levels.
+
+    Precondition: every slot at index >= ``width`` must be zero (the
+    zero-padding :func:`encrypt` establishes). The rotate-and-add ladder
+    folds *every* slot toward slot 0, so stale non-zero slots beyond
+    ``width`` — e.g. left behind by earlier rotations or by a previous
+    ``total_sum_slots`` — would silently corrupt the total. Violations
+    raise ``ValueError`` instead of folding garbage.
     """
+    if width < 1:
+        raise ValueError("total_sum_slots needs a positive width")
+    if width < ct.params.slots and bool(np.any(ct.slots[width:])):
+        raise ValueError(
+            f"slots beyond width {width} are not all zero; rotate-and-add "
+            "would fold stale slot values into the total (re-encrypt or "
+            "mask the tail first)"
+        )
     acc = ct
     shift = 1
     while shift < width:

@@ -78,18 +78,36 @@ def keygen(bits: int = 512, rng: random.Random = None) -> PaillierPrivateKey:
     return PaillierPrivateKey(public, lam, mu)
 
 
-def encrypt(pk: PaillierPublicKey, m: int, rng: random.Random = None) -> PaillierCiphertext:
-    """Encrypt plaintext m (taken mod n) with fresh randomness."""
-    rng = rng or random.Random()
-    m %= pk.n
+def draw_obfuscator(pk: PaillierPublicKey, rng: random.Random) -> int:
+    """Draw the encryption randomness r uniformly from Z*_n.
+
+    Exposed separately from :func:`encrypt` so callers that batch several
+    plaintexts into one ciphertext (slot packing) can keep consuming the
+    *same* RNG draw schedule as one-encryption-per-plaintext callers —
+    seeded replays depend on the draw order, not on how many encryptions
+    actually happen.
+    """
     while True:
         r = rng.randrange(1, pk.n)
         if gcd(r, pk.n) == 1:
-            break
+            return r
+
+
+def encrypt_with_obfuscator(
+    pk: PaillierPublicKey, m: int, r: int
+) -> PaillierCiphertext:
+    """Encrypt plaintext m (taken mod n) under explicit randomness r."""
+    m %= pk.n
     n2 = pk.n_squared
     # g^m = (n+1)^m = 1 + m*n (mod n^2), a standard Paillier optimization.
     c = ((1 + m * pk.n) % n2) * pow(r, pk.n, n2) % n2
     return PaillierCiphertext(c, pk.n)
+
+
+def encrypt(pk: PaillierPublicKey, m: int, rng: random.Random = None) -> PaillierCiphertext:
+    """Encrypt plaintext m (taken mod n) with fresh randomness."""
+    rng = rng or random.Random()
+    return encrypt_with_obfuscator(pk, m, draw_obfuscator(pk, rng))
 
 
 def decrypt(sk: PaillierPrivateKey, ct: PaillierCiphertext) -> int:
@@ -125,13 +143,28 @@ def mul_plain(ct: PaillierCiphertext, k: int) -> PaillierCiphertext:
 
 
 def sum_ciphertexts(cts: Sequence[PaillierCiphertext]) -> PaillierCiphertext:
-    """Fold ⊞ over a non-empty sequence of ciphertexts."""
+    """Sum a non-empty ciphertext sequence by pairwise tree reduction.
+
+    ⊞ is multiplication mod n², which is associative and commutative, so
+    the tree yields a ciphertext byte-identical to the historical linear
+    fold while keeping intermediate operand magnitudes balanced (Python
+    big-int multiplication cost grows with operand size, but every Paillier
+    product is already reduced mod n² — the win here is halving the Python
+    interpreter's fold depth, and the layout mirrors how a real aggregator
+    would parallelize).
+    """
     if not cts:
         raise ValueError("cannot sum zero ciphertexts")
-    acc = cts[0]
-    for ct in cts[1:]:
-        acc = add_ciphertexts(acc, ct)
-    return acc
+    layer = list(cts)
+    while len(layer) > 1:
+        nxt = [
+            add_ciphertexts(layer[i], layer[i + 1])
+            for i in range(0, len(layer) - 1, 2)
+        ]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
 
 
 def tampered(ct: PaillierCiphertext) -> PaillierCiphertext:

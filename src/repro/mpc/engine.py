@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto.field import PrimeField, DEFAULT_FIELD
-from ..crypto.shamir import Share, reconstruct_secret, share_secret
+from ..crypto.shamir import Share, reconstruct_secret, share_secret, share_vector
 from .beaver import EdaBit, OfflineDealer
 
 #: Statistical security (bits of masking slack) for masked openings, as in
@@ -140,6 +140,28 @@ class MPCEngine:
         self.counters.bytes_sent += self._share_bytes() * (self.num_parties - 1)
         return self._wrap({s.x: s for s in shares})
 
+    def input_values(self, values: Sequence[int]) -> List[SecretValue]:
+        """Batch-input many (signed) values via one Vandermonde sharing.
+
+        Produces exactly the shares, RNG draws (secret-major coefficient
+        order), and cost-counter increments that calling
+        :meth:`input_value` once per element would, but evaluates all
+        sharing polynomials with a single matrix product in
+        :func:`repro.crypto.shamir.share_vector`.
+        """
+        encoded = [self.field.encode_signed(v) for v in values]
+        per_party = share_vector(
+            encoded, self.threshold, self.party_ids, self.field, self.rng
+        )
+        self.counters.inputs += len(values)
+        self.counters.bytes_sent += (
+            self._share_bytes() * (self.num_parties - 1) * len(values)
+        )
+        return [
+            self._wrap({pid: per_party[pid][i] for pid in self.party_ids})
+            for i in range(len(values))
+        ]
+
     def input_shares(self, shares: Dict[int, Share]) -> SecretValue:
         """Adopt shares produced elsewhere (e.g. received via VSR)."""
         if set(shares) != set(self.party_ids):
@@ -197,12 +219,26 @@ class MPCEngine:
         )
 
     def sum_values(self, values: Sequence[SecretValue]) -> SecretValue:
+        """Sum shared values with a balanced pairwise tree.
+
+        Share addition is exact field addition (no rounding, no counters
+        touched by :meth:`add`), so the tree's result is byte-identical to
+        the historical left fold while keeping the reduction depth
+        logarithmic — the shape a real committee would use to overlap
+        communication-free local additions.
+        """
         if not values:
             return self.constant(0)
-        acc = values[0]
-        for v in values[1:]:
-            acc = self.add(acc, v)
-        return acc
+        layer = list(values)
+        while len(layer) > 1:
+            nxt = [
+                self.add(layer[i], layer[i + 1])
+                for i in range(0, len(layer) - 1, 2)
+            ]
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
 
     # ------------------------------------------------------------- opening
 

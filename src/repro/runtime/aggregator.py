@@ -11,12 +11,20 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto import paillier
 from ..crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
 from ..crypto.zkp import InputProof, verify as zkp_verify
+
+
+def _hash_ciphertexts(h: "hashlib._Hash", cts: Sequence[paillier.PaillierCiphertext]) -> None:
+    """Feed a ciphertext vector into a hash in the canonical byte layout
+    (minimal big-endian encoding per ciphertext, in slot order)."""
+    for ct in cts:
+        h.update(ct.value.to_bytes((ct.value.bit_length() + 7) // 8 or 1, "big"))
 
 
 @dataclass
@@ -34,16 +42,54 @@ class Upload:
     def digest(self) -> bytes:
         h = hashlib.sha256()
         h.update(self.device_id.to_bytes(8, "big"))
-        for ct in self.ciphertexts:
-            h.update(ct.value.to_bytes((ct.value.bit_length() + 7) // 8 or 1, "big"))
+        _hash_ciphertexts(h, self.ciphertexts)
         return h.digest()
 
 
 def ciphertext_vector_digest(cts: Sequence[paillier.PaillierCiphertext]) -> bytes:
     h = hashlib.sha256()
-    for ct in cts:
-        h.update(ct.value.to_bytes((ct.value.bit_length() + 7) // 8 or 1, "big"))
+    _hash_ciphertexts(h, cts)
     return h.digest()
+
+
+@dataclass
+class AggregationStatistics:
+    """Wall-clock and throughput counters for one query's upload intake.
+
+    These feed ``QueryResult.statistics`` (``repro run --stats``); they are
+    observability only and never participate in commitments or results.
+    """
+
+    uploads_received: int = 0
+    uploads_verified: int = 0
+    uploads_rejected: int = 0
+    verify_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    ciphertext_additions: int = 0
+
+    @property
+    def uploads_verified_per_second(self) -> float:
+        if self.verify_seconds <= 0:
+            return 0.0
+        return self.uploads_verified / self.verify_seconds
+
+    @property
+    def uploads_rejected_per_second(self) -> float:
+        if self.verify_seconds <= 0:
+            return 0.0
+        return self.uploads_rejected / self.verify_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "uploads_received": self.uploads_received,
+            "uploads_verified": self.uploads_verified,
+            "uploads_rejected": self.uploads_rejected,
+            "verify_seconds": self.verify_seconds,
+            "aggregate_seconds": self.aggregate_seconds,
+            "ciphertext_additions": self.ciphertext_additions,
+            "uploads_verified_per_second": self.uploads_verified_per_second,
+            "uploads_rejected_per_second": self.uploads_rejected_per_second,
+        }
 
 
 @dataclass
@@ -68,17 +114,30 @@ class AggregatorNode:
         self.steps: List[StepCommitment] = []
         self._step_tree: Optional[MerkleTree] = None
         self.mailbox: Dict[str, List[object]] = {}
+        self.stats = AggregationStatistics()
 
     # ----------------------------------------------------------------- input
 
     def receive_upload(self, upload: Upload) -> None:
         self.uploads.append(upload)
+        self.stats.uploads_received += 1
+
+    def receive_uploads(self, uploads: Sequence[Upload]) -> None:
+        """Batched intake: one call per submission round, not per device."""
+        self.uploads.extend(uploads)
+        self.stats.uploads_received += len(uploads)
 
     def verify_uploads(self) -> List[Upload]:
-        """Check every upload's ZKP; malformed inputs are dropped (§5.3)."""
+        """Check every upload's ZKP; malformed inputs are dropped (§5.3).
+
+        Digest recomputation is batched ahead of the per-upload proof walk
+        so one pass hashes all ciphertext vectors; acceptance/rejection
+        order is identical to checking each upload in sequence.
+        """
+        started = time.perf_counter()
         accepted: List[Upload] = []
-        for upload in self.uploads:
-            expected_digest = ciphertext_vector_digest(upload.ciphertexts)
+        digests = [ciphertext_vector_digest(u.ciphertexts) for u in self.uploads]
+        for upload, expected_digest in zip(self.uploads, digests):
             if upload.proof.ciphertext_digest != expected_digest:
                 self.rejected.append(upload.device_id)
                 continue
@@ -86,23 +145,33 @@ class AggregatorNode:
                 self.rejected.append(upload.device_id)
                 continue
             accepted.append(upload)
+        self.stats.verify_seconds += time.perf_counter() - started
+        self.stats.uploads_verified += len(accepted)
+        self.stats.uploads_rejected = len(self.rejected)
         return accepted
 
     # ------------------------------------------------------------- aggregate
 
     def aggregate(self, accepted: Sequence[Upload]) -> List[paillier.PaillierCiphertext]:
-        """Homomorphically sum the accepted ciphertext vectors slot-wise."""
+        """Homomorphically sum the accepted ciphertext vectors slot-wise.
+
+        Each slot column is reduced with a pairwise tree instead of the old
+        O(n·width) sequential fold. Paillier ⊞ is associative, so the tree
+        produces byte-identical ciphertexts (and therefore identical step
+        commitments) while halving the fold depth per level.
+        """
         if not accepted:
             raise ValueError("no accepted uploads to aggregate")
         width = len(accepted[0].ciphertexts)
         if any(len(u.ciphertexts) != width for u in accepted):
             raise ValueError("uploads have inconsistent widths")
-        totals = list(accepted[0].ciphertexts)
-        for upload in accepted[1:]:
-            totals = [
-                paillier.add_ciphertexts(a, b)
-                for a, b in zip(totals, upload.ciphertexts)
-            ]
+        started = time.perf_counter()
+        totals = [
+            paillier.sum_ciphertexts([u.ciphertexts[j] for u in accepted])
+            for j in range(width)
+        ]
+        self.stats.aggregate_seconds += time.perf_counter() - started
+        self.stats.ciphertext_additions += (len(accepted) - 1) * width
         return totals
 
     # ----------------------------------------------------------------- audit

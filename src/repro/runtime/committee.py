@@ -78,8 +78,12 @@ class Committee:
     # --------------------------------------------------------------- sharing
 
     def share_values(self, values: Sequence[int]) -> List[SecretValue]:
-        """Secret-share cleartext values held inside this committee's MPC."""
-        return [self.engine.input_value(v) for v in values]
+        """Secret-share cleartext values held inside this committee's MPC.
+
+        Uses the engine's batched Vandermonde sharing; draws, shares, and
+        counters match the historical per-value ``input_value`` loop.
+        """
+        return self.engine.input_values(values)
 
     def export_vector(self, values: Sequence[SecretValue]) -> Dict[int, List[Share]]:
         """Collect per-party share vectors, ready for VSR."""

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -78,6 +79,7 @@ from ..planner.search import PlanningResult
 from ..privacy.accountant import PrivacyAccountant, PrivacyCost
 from ..privacy.sampling import BinSamplingPlan
 from .aggregator import AggregatorNode, Upload, ciphertext_vector_digest
+from .packing import SlotPacking, plan_packing
 from .certificate import (
     CertificateBody,
     QueryAuthorizationCertificate,
@@ -110,6 +112,35 @@ class ExecutionError(Exception):
 
 
 @dataclass
+class RuntimeStatistics:
+    """Observability counters for one executed query (``repro run --stats``).
+
+    Mirrors ``PlannerStatistics`` on the execution side: wall-clock and
+    throughput numbers for the hot data-plane stages. Statistics never
+    influence results, commitments, or accounting — they are excluded from
+    ``QueryResult`` equality so legacy/vectorized equivalence is unaffected.
+    """
+
+    data_plane: str = "vectorized"
+    logical_width: int = 0
+    packed_width: int = 0
+    packing_lanes: int = 1
+    uploads_submitted: int = 0
+    submit_seconds: float = 0.0
+    uploads_verified: int = 0
+    uploads_rejected: int = 0
+    verify_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    ciphertext_additions: int = 0
+    uploads_verified_per_second: float = 0.0
+    uploads_rejected_per_second: float = 0.0
+    decrypt_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(vars(self))
+
+
+@dataclass
 class QueryResult:
     """The outcome of one executed query."""
 
@@ -122,6 +153,10 @@ class QueryResult:
     authorization: Optional[QueryAuthorizationCertificate] = None
     #: Present only for chaos runs: the injected-fault/recovery ledger.
     fault_log: Optional[EventLog] = None
+    #: Data-plane observability; never part of result equality.
+    statistics: Optional[RuntimeStatistics] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def value(self) -> object:
@@ -164,7 +199,12 @@ class QueryExecutor:
         verify_plan: bool = True,
         faults: Optional[FaultInjector] = None,
         max_phase_retries: int = 3,
+        data_plane: str = "vectorized",
     ):
+        if data_plane not in ("vectorized", "legacy"):
+            raise ValueError(
+                f"unknown data plane {data_plane!r}; expected 'vectorized' or 'legacy'"
+            )
         self.network = network
         self.planning = planning
         self.verify_plan = verify_plan
@@ -189,6 +229,9 @@ class QueryExecutor:
         self._key_shares: Optional[Dict[str, List[SecretValue]]] = None
         self._noise_seq = 0
         self._laplace_seq = 0
+        self.data_plane = data_plane
+        self._packing: Optional[SlotPacking] = None
+        self.statistics = RuntimeStatistics(data_plane=data_plane)
 
     # ------------------------------------------------------------- plumbing
 
@@ -404,6 +447,7 @@ class QueryExecutor:
         public_key = secret_key.public
 
         bins, sampling_plan = self._sampling_plan()
+        self._packing = self._plan_packing(public_key, bins)
         aggregator, totals, audits_failed = self._phase(
             "input", lambda: self._phase_input(public_key, bins)
         )
@@ -419,6 +463,14 @@ class QueryExecutor:
         committees_used = len(self.pool.allocated)
         self._log(f"done: {committees_used} committees participated")
         fault_log = self.faults.finish() if self.faults is not None else None
+        agg = aggregator.stats
+        self.statistics.uploads_verified = agg.uploads_verified
+        self.statistics.uploads_rejected = agg.uploads_rejected
+        self.statistics.verify_seconds = agg.verify_seconds
+        self.statistics.aggregate_seconds = agg.aggregate_seconds
+        self.statistics.ciphertext_additions = agg.ciphertext_additions
+        self.statistics.uploads_verified_per_second = agg.uploads_verified_per_second
+        self.statistics.uploads_rejected_per_second = agg.uploads_rejected_per_second
         return QueryResult(
             outputs=outputs,
             rejected_devices=list(aggregator.rejected),
@@ -428,6 +480,7 @@ class QueryExecutor:
             events=list(self.events),
             authorization=self.certificate,
             fault_log=fault_log,
+            statistics=self.statistics,
         )
 
     # ---------------------------------------------------------------- setup
@@ -510,6 +563,36 @@ class QueryExecutor:
 
     # ---------------------------------------------------------------- input
 
+    def _plan_packing(
+        self, public_key: paillier.PaillierPublicKey, bins: int
+    ) -> Optional[SlotPacking]:
+        """Choose the Paillier slot packing for this query's uploads.
+
+        The per-slot aggregate bound comes from the upload ZKPs: accepted
+        one-hot vectors carry at most a 1 per slot, accepted range vectors
+        at most ``hi`` (out-of-bound uploads are rejected before they can
+        reach the aggregate, so they cannot overflow a lane). The bound is
+        computed from the *total* registered population, which is stable
+        across churn, so chaos and fault-free twins plan identical layouts.
+        Signed ranges stay unpacked: a negative residue mod n would smear
+        across every lane.
+        """
+        if self.data_plane != "vectorized":
+            return None
+        categories = self.env.row_width
+        one_hot = self.env.row_encoding == "one_hot"
+        width = categories * bins if one_hot else categories
+        if one_hot:
+            per_device_max = 1
+        else:
+            lo = int(self.env.db_element.interval.lo)
+            hi = int(self.env.db_element.interval.hi)
+            if lo < 0 or hi < 0:
+                return None
+            per_device_max = hi
+        max_slot_sum = len(self.network) * per_device_max
+        return plan_packing(width, max_slot_sum, public_key.plaintext_modulus)
+
     def _phase_input(
         self, public_key: paillier.PaillierPublicKey, bins: int
     ) -> Tuple[AggregatorNode, List[paillier.PaillierCiphertext], int]:
@@ -579,6 +662,9 @@ class QueryExecutor:
             hi = int(self.env.db_element.interval.hi)
             statement = range_statement(width, lo, hi)
         round_number = self.network.sortition.round_number
+        packing = self._packing
+        started = time.perf_counter()
+        uploads: List[Upload] = []
         for device in self.network.devices:
             if not device.online:
                 continue  # churned devices simply never upload
@@ -586,10 +672,31 @@ class QueryExecutor:
             # any other device's bin placement or encryption randomness.
             dev_rng = self._fresh(f"upload/{device.device_id}")
             vector = self._encode_row(device, categories, bins, one_hot, width, dev_rng)
-            cts = [paillier.encrypt(public_key, v, dev_rng) for v in vector]
+            if packing is None:
+                cts = [paillier.encrypt(public_key, v, dev_rng) for v in vector]
+            else:
+                # Packed plane: the device still draws one obfuscator per
+                # *logical* slot — byte-identical RNG schedule to the
+                # unpacked plane — but only spends an exponentiation per
+                # packed ciphertext (the first lane's draw obfuscates it).
+                obfuscators = [
+                    paillier.draw_obfuscator(public_key, dev_rng) for _ in vector
+                ]
+                cts = [
+                    paillier.encrypt_with_obfuscator(
+                        public_key, value, obfuscators[j * packing.lanes]
+                    )
+                    for j, value in enumerate(packing.pack(vector))
+                ]
             digest = ciphertext_vector_digest(cts)
             proof = prove(statement, vector, device.device_id, round_number, digest)
-            aggregator.receive_upload(Upload(device.device_id, cts, proof, vector))
+            uploads.append(Upload(device.device_id, cts, proof, vector))
+        aggregator.receive_uploads(uploads)
+        self.statistics.uploads_submitted += len(uploads)
+        self.statistics.submit_seconds += time.perf_counter() - started
+        self.statistics.logical_width = width
+        self.statistics.packed_width = packing.packed_width if packing else width
+        self.statistics.packing_lanes = packing.lanes if packing else 1
 
     def _encode_row(
         self,
@@ -645,7 +752,11 @@ class QueryExecutor:
         if lam != secret_key.lam or mu != secret_key.mu:
             raise ExecutionError("VSR key transfer corrupted the private key")
         reconstructed = paillier.PaillierPrivateKey(secret_key.public, lam, mu)
+        started = time.perf_counter()
         counts = [paillier.decrypt(reconstructed, ct) for ct in totals]
+        if self._packing is not None:
+            counts = self._packing.unpack(counts)
+        self.statistics.decrypt_seconds += time.perf_counter() - started
         if sampling_plan is not None:
             # Secrecy of the sample (§6): the committee privately picks the
             # window offset and only the binned window contributes.

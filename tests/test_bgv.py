@@ -136,3 +136,110 @@ class TestAggregationScenario:
         # Simulate huge sums with plaintext multiplication.
         big = bgv.multiply_plain(ct, [10**9])
         assert bgv.decrypt(sk, big, 1) == [10**9]
+
+
+class TestKernelEdgeCases:
+    """Edge cases the numpy kernels must preserve from the seed semantics."""
+
+    def test_negative_rotate_offsets(self):
+        sk = make_key(ring_log2=12, modulus_bits=109)
+        n = sk.params.slots
+        values = list(range(16))
+        ct = bgv.encrypt(sk.public, values)
+        # rotate(-k) is a right-rotation: slot i moves to slot i+k; with
+        # zero padding the first k slots come from the (zero) tail.
+        rotated = bgv.decrypt(sk, bgv.rotate(ct, -3))
+        assert rotated[:3] == [0, 0, 0]
+        assert rotated[3:19] == values
+        # A full turn (and multiples) is the identity, either direction.
+        assert bgv.decrypt(sk, bgv.rotate(ct, n)) == bgv.decrypt(sk, ct)
+        assert bgv.decrypt(sk, bgv.rotate(ct, -n)) == bgv.decrypt(sk, ct)
+
+    @pytest.mark.parametrize("width", [1, 3, 5, 6, 7])
+    def test_total_sum_slots_non_power_of_two_widths(self, width):
+        sk = make_key(ring_log2=12, modulus_bits=109)
+        values = [1, 2, 3, 4, 5, 6, 7][:width]
+        ct = bgv.encrypt(sk.public, values)
+        assert bgv.decrypt(sk, bgv.total_sum_slots(ct, width), 1) == [sum(values)]
+
+    def test_total_sum_slots_rejects_dirty_tail(self):
+        """Slots beyond ``width`` must be zero or the fold silently corrupts."""
+        sk = make_key(ring_log2=12, modulus_bits=109)
+        ct = bgv.encrypt(sk.public, [1, 2, 3, 4, 9])
+        with pytest.raises(ValueError, match="beyond width"):
+            bgv.total_sum_slots(ct, 4)
+        # A rotation that drags values into the tail is caught too.
+        full = bgv.encrypt(sk.public, [1] * sk.params.slots)
+        with pytest.raises(ValueError, match="beyond width"):
+            bgv.total_sum_slots(full, 8)
+        with pytest.raises(ValueError):
+            bgv.total_sum_slots(ct, 0)
+
+    def test_object_dtype_fallback_large_modulus(self):
+        """Plaintext moduli past the int64 bound fall back to exact big ints."""
+        t = (1 << 61) - 1  # (t-1)^2 overflows int64: object dtype required
+        sk = make_key(plaintext_modulus=t, ring_log2=13, modulus_bits=218)
+        assert sk.params.slot_dtype is object
+        big = t - 2
+        a = bgv.encrypt(sk.public, [big, 5])
+        b = bgv.encrypt(sk.public, [3, big])
+        assert bgv.decrypt(sk, bgv.add(a, b), 2) == [(big + 3) % t, (5 + big) % t]
+        assert bgv.decrypt(sk, bgv.multiply(a, b), 2) == [
+            (big * 3) % t,
+            (5 * big) % t,
+        ]
+        assert bgv.decrypt(sk, bgv.sum_ciphertexts([a, a, a]), 1) == [(3 * big) % t]
+        assert bgv.decrypt(sk, bgv.total_sum_slots(a, 2), 1) == [(big + 5) % t]
+
+    def test_fast_path_boundary(self):
+        """The int64 fast path is taken exactly while (t-1)^2 fits a word."""
+        fits = 1 << 31
+        assert bgv.BGVParams(
+            plaintext_modulus=fits, ciphertext_modulus_bits=135
+        ).slot_dtype is not object
+        too_big = 1 << 33
+        assert bgv.BGVParams(
+            plaintext_modulus=too_big, ciphertext_modulus_bits=135
+        ).slot_dtype is object
+
+    def test_noise_budget_propagates_through_vectorized_ops(self):
+        sk = make_key()
+        depth = sk.params.max_levels
+        ct = bgv.encrypt(sk.public, [2])
+        for _ in range(depth + 1):
+            ct = bgv.multiply_plain(ct, [1])
+        # Exhausted budget survives adds, rotations, and stacked sums...
+        for derived in (
+            bgv.add(ct, bgv.encrypt(sk.public, [0])),
+            bgv.rotate(ct, 1),
+            bgv.sum_ciphertexts([ct, bgv.encrypt(sk.public, [0])]),
+        ):
+            with pytest.raises(bgv.NoiseBudgetExceeded):
+                bgv.decrypt(sk, derived)
+        # ...and the max-level rule matches the seed: the fresh ciphertext
+        # does not dilute the exhausted one's level.
+        assert bgv.sum_ciphertexts([ct, bgv.encrypt(sk.public, [0])]).level == ct.level
+
+    def test_encrypt_reduces_oversized_inputs(self):
+        sk = make_key()
+        t = sk.params.plaintext_modulus
+        ct = bgv.encrypt(sk.public, [t + 5, 2**80, -1])
+        assert bgv.decrypt(sk, ct, 3) == [5, 2**80 % t, t - 1]
+
+    def test_sum_ciphertexts_chunked_reduction_exact(self, monkeypatch):
+        """The anti-overflow chunked reduction splits sums without error.
+
+        The real chunk bound only trips past ~2^31 summands, so the test
+        shrinks the word-size constant (after key setup, so the int64 slot
+        layout is already chosen) to force several chunks over 40 rows.
+        """
+        sk = make_key(ring_log2=12, modulus_bits=109)
+        t = sk.params.plaintext_modulus
+        big = t - 1
+        count = 40
+        cts = [bgv.encrypt(sk.public, [big, big]) for _ in range(count)]
+        monkeypatch.setattr(bgv, "_INT64_MAX", 8 * t)  # chunk size ~7 rows
+        assert bgv.decrypt(sk, bgv.sum_ciphertexts(cts), 2) == [
+            (big * count) % t,
+            (big * count) % t,
+        ]
