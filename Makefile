@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: install test lint bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke check eval examples artifacts all
+.PHONY: install test lint verify-sweep bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke check eval examples artifacts all
 
 install:
 	python setup.py develop
@@ -33,10 +33,13 @@ bench-runtime:
 bench-runtime-smoke:
 	python benchmarks/bench_runtime.py --smoke --out BENCH_runtime.json
 
+verify-sweep:
+	python -m repro verify-sweep
+
 chaos-smoke:
 	python -m repro chaos --scenario all --devices 32 --committee-size 4
 
-check: lint test bench-planner-smoke bench-runtime-smoke chaos-smoke
+check: lint verify-sweep test bench-planner-smoke bench-runtime-smoke chaos-smoke
 
 eval:
 	python -m repro eval all

@@ -11,9 +11,16 @@ Commands
 ``eval``     regenerate an evaluation artifact (table1, table2, fig6..fig11,
              hetero, or all).
 ``verify-plan``  plan a query and run the static plan verifier on the result,
-             printing the invariant report (exit 1 on any violation).
+             printing the invariant report (exit 1 on any violation);
+             ``--dataflow`` additionally runs the privacy dataflow
+             analyzer and prints the derived privacy certificate.
+``certificate``  plan a query, run the dataflow analyzer, and print the
+             machine-checkable privacy certificate as JSON.
+``verify-sweep``  dataflow-analyze every catalog query at paper scale plus
+             the chaos-suite query; exit 1 unless every plan analyzes
+             clean and yields a certificate.
 ``lint``     run the privacy-invariant source lint over the repro sources
-             (exit 1 on any violation).
+             (exit 1 on any finding, warnings included).
 ``chaos``    replay named fault-injection scenarios against the runtime and
              check every recovery reproduces the fault-free answer
              bit-for-bit (exit 1 on any wrong value or unpaired fault).
@@ -202,7 +209,93 @@ def cmd_verify_plan(args) -> int:
         return 1
     report = verify_planning_result(result)
     print(report.format())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.dataflow:
+        from .verify import analyze_planning_result
+
+        df_report, certificate = analyze_planning_result(result)
+        print()
+        print(df_report.format())
+        if certificate is not None:
+            print()
+            print(certificate.format())
+        ok = ok and df_report.ok and certificate is not None
+    return 0 if ok else 1
+
+
+def cmd_certificate(args) -> int:
+    import json
+
+    from .verify import analyze_planning_result
+
+    source = _read_query(args)
+    env = _environment(args)
+    planner = Planner(env, constraints=_constraints(args), goal=Goal(args.goal))
+    try:
+        result = planner.plan_source(source, name=args.query_file)
+    except PlanningFailed as failure:
+        print(f"planning failed: {failure}", file=sys.stderr)
+        return 1
+    report, certificate = analyze_planning_result(result)
+    if certificate is None:
+        print(report.format(), file=sys.stderr)
+        return 1
+    print(json.dumps(certificate.to_dict(), indent=2))
+    print(f"digest: sha256:{certificate.digest()}", file=sys.stderr)
+    return 0
+
+
+def cmd_verify_sweep(args) -> int:
+    from .verify import analyze_planning_result
+
+    failures = 0
+    targets = [
+        (spec.name, spec.source, spec.environment())
+        for spec in ALL_QUERIES
+    ]
+    # The chaos suite executes one query under every fault scenario; its
+    # plan must carry a certificate too, or `repro chaos` runs unproven.
+    targets.append(
+        (
+            "chaos",
+            "aggr = sum(db); output(em(aggr));",
+            QueryEnvironment(
+                num_participants=32,
+                row_width=8,
+                epsilon=4.0,
+                sensitivity=1.0,
+            ),
+        )
+    )
+    for name, source, env in targets:
+        try:
+            result = Planner(env).plan_source(source, name=name)
+        except PlanningFailed as failure:
+            print(f"{name:12s} FAILED: planning failed: {failure}")
+            failures += 1
+            continue
+        report, certificate = analyze_planning_result(result)
+        if report.ok and certificate is not None:
+            print(
+                f"{name:12s} ok: {len(certificate.nodes)} mechanism use(s), "
+                f"ε ≤ {certificate.total_epsilon.hi:g}, "
+                f"δ ≤ {certificate.total_delta.hi:.3g}, "
+                f"digest sha256:{certificate.digest()[:16]}…"
+            )
+        else:
+            failures += 1
+            print(f"{name:12s} FAILED:")
+            for line in report.format().splitlines():
+                print(f"  {line}")
+    total = len(targets)
+    print(f"\n{total - failures}/{total} plan(s) analyze clean")
+    if failures:
+        return 1
+    print(
+        "(covers the 10 catalog queries at paper scale and the query "
+        "every chaos scenario replays)"
+    )
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -213,7 +306,9 @@ def cmd_lint(args) -> int:
     paths = args.paths or [str(pathlib.Path(__file__).resolve().parent)]
     report = lint_paths(paths)
     print(report.format())
-    return 0 if report.ok else 1
+    # Warnings are findings too: a lint that only fails on errors rots
+    # into an advisory nobody reads. Any finding fails the build.
+    return 0 if not report.violations else 1
 
 
 def cmd_chaos(args) -> int:
@@ -419,7 +514,38 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--max-aggregator-core-hours", type=float, default=None)
     verify.add_argument("--max-participant-minutes", type=float, default=None)
     verify.add_argument("--max-participant-gb", type=float, default=None)
+    verify.add_argument(
+        "--dataflow", action="store_true",
+        help="also run the privacy dataflow analyzer (taint, sensitivity "
+        "intervals, budget intervals) and print the derived certificate",
+    )
     verify.set_defaults(func=cmd_verify_plan)
+
+    certificate = sub.add_parser(
+        "certificate",
+        help="plan a query and print its machine-checkable privacy "
+        "certificate as JSON",
+    )
+    certificate.add_argument(
+        "query_file", help="query file, built-in query name, or '-' for stdin"
+    )
+    certificate.add_argument("--participants", type=int, default=10**9)
+    certificate.add_argument("--categories", type=int, default=2**15)
+    certificate.add_argument("--epsilon", type=float, default=0.1)
+    certificate.add_argument("--sensitivity", type=float, default=1.0)
+    certificate.add_argument(
+        "--goal", default="participant_expected_seconds", choices=CostVector.METRICS
+    )
+    certificate.add_argument("--max-aggregator-core-hours", type=float, default=None)
+    certificate.add_argument("--max-participant-minutes", type=float, default=None)
+    certificate.add_argument("--max-participant-gb", type=float, default=None)
+    certificate.set_defaults(func=cmd_certificate)
+
+    sweep = sub.add_parser(
+        "verify-sweep",
+        help="dataflow-analyze every catalog query plus the chaos query",
+    )
+    sweep.set_defaults(func=cmd_verify_sweep)
 
     lint = sub.add_parser(
         "lint", help="run the privacy-invariant source lint"

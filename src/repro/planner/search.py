@@ -111,12 +111,19 @@ class PlannerStatistics:
 
 @dataclass
 class PlanningResult:
-    """The chosen plan plus search statistics."""
+    """The chosen plan plus search statistics.
+
+    ``privacy_certificate`` is the dataflow analyzer's machine-checkable
+    proof summary (:class:`repro.verify.certificate.PrivacyCertificate`),
+    attached by :meth:`Planner.plan_logical` when the analysis is clean;
+    the executor re-analyzes and compares digests before running.
+    """
 
     plan: Optional[Plan]
     statistics: PlannerStatistics
     certificate: Certificate
     logical_plan: LogicalPlan
+    privacy_certificate: Optional[object] = None
 
     @property
     def succeeded(self) -> bool:
@@ -511,12 +518,19 @@ class Planner:
                 f"({stats.candidates_scored} candidates scored, "
                 f"{stats.pruned_by_constraint} pruned by constraints)"
             )
+        # Post-condition: dataflow-analyze the winning plan and attach the
+        # machine-checkable privacy certificate. The analysis never raises;
+        # under --verify a dirty report (or any failed invariant) is fatal.
+        # Imported lazily — verify depends on this module.
+        from ..verify.dataflow import analyze_planning_result
+
+        df_report, privacy_certificate = analyze_planning_result(result)
+        result.privacy_certificate = privacy_certificate
         if self.verify:
-            # Post-condition: the winning plan must satisfy every static
-            # invariant. Imported lazily — verify depends on this module.
             from ..verify import verify_planning_result
 
             verify_planning_result(result).raise_if_failed()
+            df_report.raise_if_failed()
         return result
 
     def search_logical(

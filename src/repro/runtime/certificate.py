@@ -27,7 +27,14 @@ from typing import Dict, Sequence, Tuple
 
 @dataclass(frozen=True)
 class CertificateBody:
-    """The signed contents."""
+    """The signed contents.
+
+    ``privacy_certificate_digest`` pins the dataflow analyzer's
+    :class:`~repro.verify.certificate.PrivacyCertificate` for this plan
+    (empty when the executor ran unverified): committees endorsing the
+    query thereby endorse one specific privacy proof, and a later swap of
+    the proof invalidates every signature.
+    """
 
     query_sequence: int
     public_key_digest: bytes
@@ -36,6 +43,7 @@ class CertificateBody:
     delta_remaining: float
     registry_root: bytes
     next_block: bytes
+    privacy_certificate_digest: bytes = b""
 
     def digest(self) -> bytes:
         h = hashlib.sha256()
@@ -46,6 +54,7 @@ class CertificateBody:
         h.update(f"{self.delta_remaining:.12e}".encode())
         h.update(self.registry_root)
         h.update(self.next_block)
+        h.update(self.privacy_certificate_digest)
         return h.digest()
 
 

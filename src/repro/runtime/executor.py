@@ -232,6 +232,10 @@ class QueryExecutor:
         self.data_plane = data_plane
         self._packing: Optional[SlotPacking] = None
         self.statistics = RuntimeStatistics(data_plane=data_plane)
+        #: The validated dataflow PrivacyCertificate for this run (set by
+        #: the verify gate; its digest is folded into the signed
+        #: CertificateBody so committees endorse the privacy proof too).
+        self.privacy_certificate = getattr(planning, "privacy_certificate", None)
 
     # ------------------------------------------------------------- plumbing
 
@@ -430,6 +434,7 @@ class QueryExecutor:
             from ..verify import verify_planning_result
 
             verify_planning_result(self.planning).raise_if_failed()
+            self._validate_privacy_certificate()
         n = len(self.network)
         m = self.committee_size
         max_committees = max(1, n // m)
@@ -482,6 +487,35 @@ class QueryExecutor:
             fault_log=fault_log,
             statistics=self.statistics,
         )
+
+    def _validate_privacy_certificate(self) -> None:
+        """Re-analyze the plan and validate the attached privacy proof.
+
+        The dataflow pass must come back clean (an un-noised release, an
+        insufficient noise scale, or a budget mismatch refuses execution),
+        and when the planner attached a serialized PrivacyCertificate its
+        digest must match the fresh re-analysis — a certificate that no
+        longer describes the plan it rides with fails closed.
+        """
+        from ..verify.dataflow import analyze_planning_result
+        from ..verify.report import PlanVerificationError
+
+        report, derived = analyze_planning_result(self.planning)
+        report.raise_if_failed()
+        attached = getattr(self.planning, "privacy_certificate", None)
+        if attached is not None and derived is not None:
+            if attached.digest() != derived.digest():
+                report.add(
+                    "df-certificate-stale",
+                    "privacy certificate",
+                    f"attached certificate digest {attached.digest()[:16]}... "
+                    f"does not match a fresh re-analysis "
+                    f"({derived.digest()[:16]}...); the plan or its "
+                    "certificate was modified after planning",
+                    node_path="planning.privacy_certificate",
+                )
+                raise PlanVerificationError(report)
+        self.privacy_certificate = attached or derived
 
     # ---------------------------------------------------------------- setup
 
@@ -536,6 +570,11 @@ class QueryExecutor:
             delta_remaining=min(remaining_delta, 1e18),
             registry_root=self.network.sortition.registry.root,
             next_block=next_block,
+            privacy_certificate_digest=(
+                self.privacy_certificate.digest_bytes()
+                if self.privacy_certificate is not None
+                else b""
+            ),
         )
         member_secrets = {
             member: self.network.device(member).secret

@@ -12,9 +12,29 @@ Two halves (see docs/ARCHITECTURE.md, "Plan verification"):
 
 Both report through :class:`VerificationReport`; raising callers get a
 single exception type, :class:`PlanVerificationError`.
+
+PR 6 adds the semantic third: :func:`analyze_planning_result` runs the
+privacy dataflow analyzer (:mod:`repro.verify.dataflow`) — abstract
+interpretation over the plan IR with a taint lattice, sensitivity
+intervals, and interval budget accounting — and distills clean analyses
+into a machine-checkable :class:`PrivacyCertificate`.
 """
 
-from .invariants import INVARIANTS, INVARIANTS_BY_RULE, Invariant, catalog_text
+from .certificate import NodeCertificate, PrivacyCertificate
+from .dataflow import (
+    DataflowAnalyzer,
+    analyze_logical_plan,
+    analyze_planning_result,
+)
+from .invariants import (
+    DATAFLOW_BY_RULE,
+    DATAFLOW_INVARIANTS,
+    INVARIANTS,
+    INVARIANTS_BY_RULE,
+    Invariant,
+    catalog_text,
+)
+from .lattice import AbstractValue, Bounds, SensitivityBounds, TaintLabel
 from .plan_checker import PlanChecker, verify_plan, verify_planning_result
 from .report import (
     PlanVerificationError,
@@ -25,17 +45,28 @@ from .report import (
 from .source_lint import LINT_RULES, LintRule, SourceLinter, lint_paths
 
 __all__ = [
+    "AbstractValue",
+    "Bounds",
+    "DATAFLOW_BY_RULE",
+    "DATAFLOW_INVARIANTS",
+    "DataflowAnalyzer",
     "INVARIANTS",
     "INVARIANTS_BY_RULE",
     "Invariant",
     "LINT_RULES",
     "LintRule",
+    "NodeCertificate",
     "PlanChecker",
     "PlanVerificationError",
+    "PrivacyCertificate",
     "Severity",
+    "SensitivityBounds",
     "SourceLinter",
+    "TaintLabel",
     "VerificationReport",
     "Violation",
+    "analyze_logical_plan",
+    "analyze_planning_result",
     "catalog_text",
     "lint_paths",
     "verify_plan",

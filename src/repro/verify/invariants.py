@@ -205,6 +205,91 @@ INVARIANTS: Tuple[Invariant, ...] = (
 
 INVARIANTS_BY_RULE: Dict[str, Invariant] = {inv.rule: inv for inv in INVARIANTS}
 
+#: The semantic rules of the privacy dataflow analyzer (PR 6). Kept in a
+#: separate catalog from the syntactic plan invariants above: the plan
+#: checker enumerates INVARIANTS, the dataflow pass enumerates these, and
+#: the CLI/docs can print both without either checker claiming the
+#: other's rules as "checked".
+DATAFLOW_INVARIANTS: Tuple[Invariant, ...] = (
+    Invariant(
+        "df-taint-release",
+        "No un-noised value crosses a release boundary",
+        "§4.2",
+        "Abstract interpretation of the post-aggregate statements proves "
+        "every value reaching output()/declassify() carries a NOISED (or "
+        "PUBLIC) taint label; a RAW or CLIPPED label at a release point is "
+        "a hard error, even when the op-level IR looks well-formed.",
+    ),
+    Invariant(
+        "df-noise-scale",
+        "Every noise scale is sufficient for the proven sensitivity",
+        "§4.2",
+        "At each laplace node the recorded ε must cover l1_hi/scale_lo "
+        "(sensitivity interval over the proven scale interval, sampling- "
+        "amplified and loop-multiplied); at each em node the environment "
+        "sensitivity that sizes the runtime noise must cover the derived "
+        "L∞ bound. Presence of a mechanism is not enough — the scale must "
+        "be proven sufficient.",
+    ),
+    Invariant(
+        "df-sensitivity-certified",
+        "Recorded sensitivities dominate the derived intervals",
+        "§4.2",
+        "Each mechanism use's recorded sensitivity must be >= the "
+        "interval the dataflow pass derives for the value actually "
+        "flowing into it — a clip() dropped by a rewrite, or a scaling "
+        "inserted after certification, shows up here.",
+    ),
+    Invariant(
+        "df-budget-interval",
+        "Budget accounting reconciles within a proven interval",
+        "§4.2, §5.2",
+        "The derived mechanism-use sequence must match the certificate's "
+        "recorded uses one-for-one (kind, k, count, δ), and the claimed "
+        "total (ε, δ) must dominate the outward-rounded interval sum of "
+        "the per-node charges — catching double-spends and unrecorded "
+        "releases that leave the per-use sum internally consistent.",
+    ),
+    Invariant(
+        "df-sampling-amplification",
+        "Amplification is claimed only when the plan samples",
+        "§2.1, §6",
+        "A recorded use may claim a sampling fraction φ < 1 only when the "
+        "IR's EncryptInput op actually activates the oblivious "
+        "bin-sampling layout with that fraction.",
+    ),
+    Invariant(
+        "df-certificate-stale",
+        "An attached PrivacyCertificate matches a fresh re-analysis",
+        "§5.2",
+        "The executor re-analyzes the plan and compares digests; a "
+        "serialized certificate that no longer matches the plan it rides "
+        "with fails closed.",
+    ),
+    Invariant(
+        "df-analysis-incomplete",
+        "The analyzer covered every statement it was given",
+        "§4.2",
+        "Statement or expression forms the abstract interpreter cannot "
+        "model make the analysis fail closed rather than silently "
+        "under-approximate.",
+    ),
+    Invariant(
+        "df-manual-certificate",
+        "Analyst-supplied certificates are flagged, not re-proven",
+        "§4.2",
+        "A manual (CertiPriv-style) certificate skips the taint and "
+        "budget re-derivation; the certificate is marked as asserted so "
+        "downstream consumers know the proof burden lies with the "
+        "analyst.",
+        severity=Severity.WARNING,
+    ),
+)
+
+DATAFLOW_BY_RULE: Dict[str, Invariant] = {
+    inv.rule: inv for inv in DATAFLOW_INVARIANTS
+}
+
 
 def catalog_text() -> str:
     """Human-readable invariant catalog (the CLI's --list-invariants)."""

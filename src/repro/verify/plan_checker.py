@@ -93,9 +93,14 @@ class PlanChecker:
 
     # ------------------------------------------------------------- plumbing
 
-    def _fail(self, rule: str, subject: str, message: str) -> None:
+    def _fail(
+        self, rule: str, subject: str, message: str, node_path: str = ""
+    ) -> None:
         severity = INVARIANTS_BY_RULE[rule].severity
-        self.report.add(rule, subject, message, severity)
+        # Every finding carries a plan-node path so tooling (and humans
+        # reading `repro verify-plan` output) can jump straight to the
+        # offending IR op, vignette, or post-aggregate statement.
+        self.report.add(rule, subject, message, severity, node_path=node_path or subject)
 
     def _checked(self, rule: str) -> None:
         if rule not in self.report.checked_rules:
@@ -172,6 +177,7 @@ class PlanChecker:
                     f"variable {node.name!r} is read before any definition "
                     f"(aggregate variable is "
                     f"{self.logical.aggregate_var!r})",
+                    node_path=f"post:line {stmt.line}",
                 )
                 defined.add(node.name)  # report each undefined name once
 
@@ -189,6 +195,7 @@ class PlanChecker:
                 "ssa-pipeline-order",
                 "ops",
                 "logical plan lacks an EncryptInput/Aggregate pair",
+                node_path="logical.ops",
             )
             return
         if min(agg_idx) < min(input_idx):
@@ -196,6 +203,7 @@ class PlanChecker:
                 "ssa-pipeline-order",
                 f"aggregate[{min(agg_idx)}]",
                 "Aggregate appears before EncryptInput",
+                node_path=f"ops[{min(agg_idx)}]",
             )
         for i in mech_idx:
             if i < min(agg_idx):
@@ -203,6 +211,7 @@ class PlanChecker:
                     "ssa-pipeline-order",
                     f"{ops[i].name}[{i}]",
                     "mechanism op appears before the Aggregate",
+                    node_path=f"ops[{i}]",
                 )
 
     def check_ranges(self) -> None:

@@ -35,15 +35,25 @@ class Violation:
 
     ``subject`` names the thing being blamed — a vignette, a logical op key,
     or a ``file:line`` location — so diagnostics stay actionable.
+    ``node_path`` pins the finding to a structured location in the plan
+    (``ops[3]:select_max``, ``post[1]:line 2``, ``plan.scheme``, ...), so
+    tooling can navigate to the offending node without parsing prose.
     """
 
     rule: str
     subject: str
     message: str
     severity: Severity = Severity.ERROR
+    node_path: str = ""
+
+    @property
+    def location(self) -> str:
+        """The most specific location available for this finding."""
+        return self.node_path or self.subject
 
     def __str__(self) -> str:
-        return f"[{self.rule}] {self.subject}: {self.message}"
+        at = f" @ {self.node_path}" if self.node_path else ""
+        return f"[{self.rule}] {self.subject}{at}: {self.message}"
 
 
 @dataclass
@@ -73,8 +83,11 @@ class VerificationReport:
         subject: str,
         message: str,
         severity: Severity = Severity.ERROR,
+        node_path: str = "",
     ) -> None:
-        self.violations.append(Violation(rule, subject, message, severity))
+        self.violations.append(
+            Violation(rule, subject, message, severity, node_path)
+        )
 
     def merge(self, other: "VerificationReport") -> None:
         self.violations.extend(other.violations)

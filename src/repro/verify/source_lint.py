@@ -22,6 +22,20 @@ about because they encode *this* codebase's safety conventions:
 * **R4 no-unused-imports** — a pyflakes-subset check so ``make lint``
   has teeth even when ruff is not installed. ``__init__.py`` re-export
   hubs and ``from __future__`` imports are exempt.
+* **R5 rng-stream-hygiene** — a *cross-function, cross-file* dataflow
+  rule: every statically-known label passed to the seed-derivation
+  surface (``derive_stream_seed`` and the ``fresh``/``persistent``/
+  ``_fresh`` stream accessors) must be unique per call site. Two call
+  sites sharing a label template silently draw *correlated* randomness
+  — DP noise reusing MPC share material, replayed phases consuming each
+  other's streams — which breaks both privacy and the bit-identical
+  replay guarantee. F-string labels are compared as templates (the
+  interpolated holes are wildcards); fully dynamic labels are skipped.
+* **R6 no-numpy-default-rng** — inside ``runtime/``, ``mpc/``, and
+  ``crypto/`` no code may draw from numpy's ambient global stream
+  (``np.random.<fn>``) or construct an unseeded generator
+  (``default_rng()`` with no arguments). Same rationale as R2, for the
+  vectorized data plane: unseeded draws are unreplayable.
 
 All rules report through the shared :class:`VerificationReport` shape,
 with ``file:line`` subjects.
@@ -32,7 +46,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .report import VerificationReport, Violation
 
@@ -58,6 +72,12 @@ _GLOBAL_RNG_FUNCS = frozenset(
         "getrandbits",
         "seed",
     }
+)
+
+#: ``numpy.random`` names that construct *seedable* generator machinery
+#: rather than drawing from the module-level global stream (R6).
+_NUMPY_SEEDED_CONSTRUCTORS = frozenset(
+    {"Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64"}
 )
 
 #: Annotations marking secret-tainted field elements (R3).
@@ -96,7 +116,27 @@ LINT_RULES: Tuple[LintRule, ...] = (
         "all of src",
         "every module-level import is used (init re-export hubs exempt)",
     ),
+    LintRule(
+        "rng-stream-hygiene",
+        "runtime/, mpc/, crypto/, faults/",
+        "every derive_stream_seed / fresh / persistent label template is "
+        "unique per call site (no correlated substreams)",
+    ),
+    LintRule(
+        "no-numpy-default-rng",
+        "runtime/, mpc/, crypto/",
+        "no numpy.random global-stream calls, no unseeded default_rng()",
+    ),
 )
+
+#: Functions whose string argument names a derived random substream. Maps
+#: callable name -> index of the label argument (R5).
+_STREAM_SEED_FUNCS = {
+    "derive_stream_seed": 1,
+    "fresh": 0,
+    "persistent": 0,
+    "_fresh": 0,
+}
 
 
 def _annotation_names(node: ast.AST) -> Set[str]:
@@ -122,6 +162,30 @@ def _is_secret_annotation(node: ast.AST) -> bool:
     return any(m in _annotation_names(node) for m in _SECRET_ANNOTATIONS)
 
 
+def _label_template(expr: ast.AST):
+    """The static template of a stream-label expression, or ``None``.
+
+    String constants are themselves; f-strings become templates with
+    ``{}`` holes (``f"noise/em{seq}/{start}"`` -> ``"noise/em{}/{}"``),
+    so two call sites differing only in interpolated values still
+    compare equal — which is exactly the collision R5 hunts. Anything
+    else (a variable, a ``+`` concat) is dynamic and skipped.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.JoinedStr):
+        parts = []
+        for piece in expr.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
 class _FileLinter(ast.NodeVisitor):
     """Runs every applicable rule over one parsed module."""
 
@@ -138,6 +202,10 @@ class _FileLinter(ast.NodeVisitor):
         self.in_field_scope = "mpc" in parts or (
             self.in_crypto and path.name in _FIELD_ARITHMETIC_FILES
         )
+        self.in_np_scope = (
+            "runtime" in parts or "mpc" in parts or self.in_crypto
+        )
+        self.in_stream_scope = self.in_np_scope or "faults" in parts
         self.is_init = path.name == "__init__.py"
         self.class_names = {
             n.name for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
@@ -148,14 +216,28 @@ class _FileLinter(ast.NodeVisitor):
         self.violations: List[Violation] = []
         #: Names bound to secret-annotated values in the current function.
         self._secret_stack: List[Set[str]] = []
+        #: Aliases ``import numpy [as X]`` binds in this module (R6).
+        self.numpy_aliases: Set[str] = set()
+        #: Aliases bound to the ``numpy.random`` submodule itself (R6).
+        self.numpy_random_aliases: Set[str] = set()
+        #: ``(template, site)`` for every statically-labelled stream-seed
+        #: call; the cross-file uniqueness post-pass lives in
+        #: :meth:`SourceLinter.lint_paths` (R5).
+        self.stream_labels: List[Tuple[str, str]] = []
+        #: Names ``from numpy.random import default_rng [as X]`` binds (R6).
+        self.default_rng_aliases: Set[str] = set()
+
+    def _allowed(self, rule: str, line: int) -> bool:
+        # Escape hatch for deliberate violations (Byzantine test
+        # hooks, adversarial fixtures): ``# verify: allow(<rule>)``.
+        if 0 < line <= len(self.lines):
+            return f"verify: allow({rule})" in self.lines[line - 1]
+        return False
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 0)
-        if 0 < line <= len(self.lines):
-            # Escape hatch for deliberate violations (Byzantine test
-            # hooks, adversarial fixtures): ``# verify: allow(<rule>)``.
-            if f"verify: allow({rule})" in self.lines[line - 1]:
-                return
+        if self._allowed(rule, line):
+            return
         self.violations.append(Violation(rule, f"{self.rel}:{line}", message))
 
     def run(self) -> List[Violation]:
@@ -236,6 +318,66 @@ class _FileLinter(ast.NodeVisitor):
                         f"random.{func.attr}() draws from the ambient global "
                         "stream; pass a random.Random instance instead",
                     )
+        # R5: collect statically-labelled stream-seed call sites; the
+        # cross-file uniqueness check runs in SourceLinter.lint_paths.
+        if self.in_stream_scope and name in _STREAM_SEED_FUNCS:
+            idx = _STREAM_SEED_FUNCS[name]
+            label_expr = None
+            for kw in node.keywords:
+                if kw.arg == "label":
+                    label_expr = kw.value
+            if label_expr is None and len(node.args) > idx:
+                label_expr = node.args[idx]
+            if label_expr is not None:
+                template = _label_template(label_expr)
+                line = getattr(node, "lineno", 0)
+                if template is not None and not self._allowed(
+                    "rng-stream-hygiene", line
+                ):
+                    self.stream_labels.append((template, f"{self.rel}:{line}"))
+        # R6: numpy's ambient global stream / unseeded generators.
+        if self.in_np_scope:
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                is_np_random = (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in self.numpy_aliases
+                ) or (
+                    isinstance(base, ast.Name)
+                    and base.id in self.numpy_random_aliases
+                )
+                if is_np_random:
+                    if func.attr in ("default_rng", "RandomState"):
+                        if not node.args and not node.keywords:
+                            self._flag(
+                                "no-numpy-default-rng",
+                                node,
+                                f"{func.attr}() without a seed is "
+                                "unreplayable; derive the seed from the "
+                                "run's master seed (derive_stream_seed)",
+                            )
+                    elif func.attr not in _NUMPY_SEEDED_CONSTRUCTORS:
+                        self._flag(
+                            "no-numpy-default-rng",
+                            node,
+                            f"numpy.random.{func.attr}() draws from numpy's "
+                            "ambient global stream; use a seeded Generator "
+                            "instead",
+                        )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in self.default_rng_aliases
+                and not node.args
+                and not node.keywords
+            ):
+                self._flag(
+                    "no-numpy-default-rng",
+                    node,
+                    "default_rng() without a seed is unreplayable; derive "
+                    "the seed from the run's master seed",
+                )
         # R3: float() coercion of a secret.
         if (
             self._secret_stack
@@ -256,6 +398,18 @@ class _FileLinter(ast.NodeVisitor):
                         )
         self.generic_visit(node)
 
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self.numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.numpy_random_aliases.add(alias.asname)
+                else:
+                    # ``import numpy.random`` binds the top-level ``numpy``.
+                    self.numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if self.in_rng_scope and node.module == "random":
             for alias in node.names:
@@ -265,6 +419,25 @@ class _FileLinter(ast.NodeVisitor):
                         node,
                         f"importing random.{alias.name} binds the ambient "
                         "global stream; thread a random.Random instead",
+                    )
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                binding = alias.asname or alias.name
+                if alias.name == "default_rng":
+                    self.default_rng_aliases.add(binding)
+                elif (
+                    self.in_np_scope
+                    and alias.name not in _NUMPY_SEEDED_CONSTRUCTORS
+                ):
+                    self._flag(
+                        "no-numpy-default-rng",
+                        node,
+                        f"importing numpy.random.{alias.name} binds numpy's "
+                        "ambient global stream; use a seeded Generator",
                     )
         self.generic_visit(node)
 
@@ -371,6 +544,11 @@ class SourceLinter:
                 yield path
 
     def lint_file(self, path: Path) -> List[Violation]:
+        violations, _ = self._lint_file(path)
+        return violations
+
+    def _lint_file(self, path: Path) -> Tuple[List[Violation], List[Tuple[str, str]]]:
+        """One file's violations plus its stream-label sites (for R5)."""
         path = Path(path)
         try:
             rel = str(path.relative_to(self.root))
@@ -380,12 +558,19 @@ class SourceLinter:
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return [
-                Violation(
-                    "syntax", f"{rel}:{exc.lineno or 0}", f"unparsable: {exc.msg}"
-                )
-            ]
-        return _FileLinter(path, rel, tree, source).run()
+            return (
+                [
+                    Violation(
+                        "syntax",
+                        f"{rel}:{exc.lineno or 0}",
+                        f"unparsable: {exc.msg}",
+                    )
+                ],
+                [],
+            )
+        linter = _FileLinter(path, rel, tree, source)
+        violations = linter.run()
+        return violations, linter.stream_labels
 
     def lint_paths(self, paths: Sequence) -> VerificationReport:
         report = VerificationReport(
@@ -396,8 +581,33 @@ class SourceLinter:
             if not Path(raw).exists():
                 # A typo'd path silently "passing" would defeat the lint.
                 report.add("no-such-path", str(raw), "path does not exist")
+        stream_sites: List[Tuple[str, str]] = []
         for path in self._files(paths):
-            report.violations.extend(self.lint_file(path))
+            violations, labels = self._lint_file(path)
+            report.violations.extend(violations)
+            stream_sites.extend(labels)
+        # R5 post-pass: stream-label uniqueness is a *global* property —
+        # a label reused in a different module is just as correlated as
+        # one reused next door, so the check must run across every file
+        # in the lint set, after all of them have been visited.
+        by_template: Dict[str, List[str]] = {}
+        for template, site in stream_sites:
+            by_template.setdefault(template, []).append(site)
+        for template, sites in sorted(by_template.items()):
+            distinct = sorted(set(sites))
+            if len(distinct) > 1:
+                for site in distinct:
+                    others = ", ".join(s for s in distinct if s != site)
+                    report.violations.append(
+                        Violation(
+                            "rng-stream-hygiene",
+                            site,
+                            f"stream label template {template!r} is also "
+                            f"derived at {others}; each call site must use "
+                            "a unique label or the substreams are "
+                            "correlated",
+                        )
+                    )
         return report
 
 
