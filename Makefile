@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: install test lint verify-sweep bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke check eval examples artifacts all
+.PHONY: install test lint verify-sweep bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke chaos-resume-smoke check eval examples artifacts all
 
 install:
 	python setup.py develop
@@ -39,7 +39,10 @@ verify-sweep:
 chaos-smoke:
 	python -m repro chaos --scenario all --devices 32 --committee-size 4
 
-check: lint verify-sweep test bench-planner-smoke bench-runtime-smoke chaos-smoke
+chaos-resume-smoke:
+	python -m repro chaos --crash-sweep --devices 32 --committee-size 4
+
+check: lint verify-sweep test bench-planner-smoke bench-runtime-smoke chaos-smoke chaos-resume-smoke
 
 eval:
 	python -m repro eval all

@@ -23,7 +23,14 @@ Commands
              (exit 1 on any finding, warnings included).
 ``chaos``    replay named fault-injection scenarios against the runtime and
              check every recovery reproduces the fault-free answer
-             bit-for-bit (exit 1 on any wrong value or unpaired fault).
+             bit-for-bit (exit 1 on any wrong value or unpaired fault);
+             coordinator-crash scenarios run through the execution journal
+             and its crash→resume path. ``--json`` emits the verdicts and
+             fault logs as canonical JSON; ``--crash-sweep`` kills the
+             coordinator at every checkpoint in turn and verifies each
+             resumed run is digest-identical to the uninterrupted one.
+``resume``   reload a ``--journal`` file from a dead run, rebuild the
+             deployment from its manifest, and replay to completion.
 """
 
 from __future__ import annotations
@@ -156,36 +163,92 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _executor_from_manifest(manifest: dict, journal=None):
+    """Rebuild a :class:`QueryExecutor` from a journal manifest.
+
+    The manifest is the ``open`` record of an execution journal: every
+    parameter that shaped the original deployment. Rebuilding from it must
+    reproduce the original construction order exactly (network before
+    data load before executor), because the shared RNGs are consumed in
+    that order and resume correctness rests on replaying the same draws.
+    """
+    from .faults import FaultInjector, FaultPlan
     from .runtime.executor import QueryExecutor
     from .runtime.network import FederatedNetwork
 
-    source = _read_query(args)
-    rng = random.Random(args.seed)
     env = QueryEnvironment(
-        num_participants=args.devices,
-        row_width=args.categories,
-        epsilon=args.epsilon,
-        sensitivity=args.sensitivity,
+        num_participants=manifest["devices"],
+        row_width=manifest["categories"],
+        epsilon=manifest["epsilon"],
+        sensitivity=manifest["sensitivity"],
     )
-    planner = Planner(env)
-    result = planner.plan_source(source, name=args.query_file)
+    planning = Planner(env).plan_source(
+        manifest["source"], name=manifest["query_name"]
+    )
+    if manifest["recipe"] == "chaos":
+        network = FederatedNetwork(
+            manifest["devices"], rng=random.Random(manifest["seed"])
+        )
+        network.load_categorical_data(manifest["categories"])
+        return QueryExecutor(
+            network,
+            planning,
+            committee_size=manifest["committee_size"],
+            key_prime_bits=manifest["key_prime_bits"],
+            rng=random.Random(manifest["seed"] + 1),
+            faults=FaultInjector(
+                FaultPlan.from_dict(manifest["scenario"]),
+                seed=manifest["fault_seed"],
+            ),
+            journal=journal,
+        )
+    # recipe == "run": one rng shared by sortition and executor.
+    rng = random.Random(manifest["seed"])
     network = FederatedNetwork(
-        args.devices, rng=rng, malicious_fraction=args.malicious
+        manifest["devices"], rng=rng, malicious_fraction=manifest["malicious"]
     )
-    network.load_categorical_data(args.categories)
-    executor = QueryExecutor(
+    network.load_categorical_data(manifest["categories"])
+    return QueryExecutor(
         network,
-        result,
-        committee_size=args.committee_size,
+        planning,
+        committee_size=manifest["committee_size"],
         rng=rng,
-        data_plane=args.data_plane,
+        data_plane=manifest["data_plane"],
+        journal=journal,
     )
+
+
+def cmd_run(args) -> int:
+    from .runtime.journal import ExecutionJournal
+
+    source = _read_query(args)
+    manifest = {
+        "recipe": "run",
+        "query_name": args.query_file,
+        "source": source,
+        "devices": args.devices,
+        "categories": args.categories,
+        "epsilon": args.epsilon,
+        "sensitivity": args.sensitivity,
+        "committee_size": args.committee_size,
+        "malicious": args.malicious,
+        "seed": args.seed,
+        "data_plane": args.data_plane,
+    }
+    journal = (
+        ExecutionJournal.create(args.journal, manifest) if args.journal else None
+    )
+    executor = _executor_from_manifest(manifest, journal)
     outcome = executor.run()
     for event in outcome.events:
         print(" ", event)
     print(f"rejected: {outcome.rejected_devices}")
     print(f"output(s): {outcome.outputs}")
+    if journal is not None:
+        print(
+            f"journal: {journal.record_count} record(s) at {args.journal} "
+            f"(tail digest {journal.tail_digest()[:16]}…)"
+        )
     if args.stats and outcome.statistics is not None:
         print("runtime statistics:")
         for key, value in outcome.statistics.as_dict().items():
@@ -193,6 +256,69 @@ def cmd_run(args) -> int:
                 print(f"  {key}: {value:.6f}")
             else:
                 print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from .faults import CoordinatorCrash, UnrecoverableFault
+    from .runtime.journal import ExecutionJournal, JournalError
+
+    try:
+        journal = ExecutionJournal.load(args.journal)
+    except JournalError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 1
+    manifest = journal.manifest
+    if not manifest or "recipe" not in manifest:
+        print(
+            "cannot resume: the journal carries no run manifest, so the "
+            "deployment cannot be rebuilt",
+            file=sys.stderr,
+        )
+        return 1
+    if journal.completed:
+        stored = journal.result
+        print("journal is already complete; stored result:")
+        for event in stored.get("events", []):
+            print(" ", event)
+        print(f"output(s): {stored['outputs_repr']}")
+        print(f"ε charged: {stored['epsilon_charged']}")
+        return 0
+    print(
+        f"resuming {manifest['recipe']} run of {manifest['query_name']!r} "
+        f"from {journal.record_count} journaled record(s) "
+        f"({journal.crash_count} recorded crash(es))"
+    )
+    resumes = 1
+    while True:
+        executor = _executor_from_manifest(manifest, journal)
+        try:
+            outcome = executor.run()
+            break
+        except UnrecoverableFault as exc:
+            print(exc.log.format())
+            print(f"aborted: {exc.reason}", file=sys.stderr)
+            return 1
+        except CoordinatorCrash as crash:
+            resumes += 1
+            if resumes > 8:
+                print("giving up: the coordinator keeps dying", file=sys.stderr)
+                return 1
+            print(
+                f"coordinator died again at checkpoint "
+                f"{crash.checkpoint_seq} ({crash.checkpoint}); resuming"
+            )
+            journal = ExecutionJournal.load(args.journal)
+    for event in outcome.events:
+        print(" ", event)
+    print(f"output(s): {outcome.outputs}")
+    stats = outcome.statistics
+    print(
+        f"resumed across {resumes} incarnation(s): "
+        f"{stats.journal_replayed} checkpoint(s) replay-verified, "
+        f"{stats.resume_events} crash(es) stepped over, "
+        f"{stats.journal_records} record(s) now journaled"
+    )
     return 0
 
 
@@ -311,38 +437,126 @@ def cmd_lint(args) -> int:
     return 0 if not report.violations else 1
 
 
+_CHAOS_QUERY = "aggr = sum(db); output(em(aggr));"
+
+
+def _chaos_manifest(args, plan) -> dict:
+    return {
+        "recipe": "chaos",
+        "query_name": "chaos",
+        "source": _CHAOS_QUERY,
+        "devices": args.devices,
+        "categories": args.categories,
+        "epsilon": args.epsilon,
+        "sensitivity": 1.0,
+        "committee_size": args.committee_size,
+        "key_prime_bits": 96,
+        "seed": args.seed,
+        "fault_seed": args.seed,
+        "scenario": plan.as_dict(),
+    }
+
+
+def _chaos_execute(args, plan, journal_path=None):
+    """One chaos run; coordinator-crash plans go through crash→resume.
+
+    Returns ``(outcome, resumes)``. A plan that kills the coordinator is
+    executed under a journal (at ``journal_path`` or a temporary file)
+    and driven to completion across incarnations.
+    """
+    import os
+    import tempfile
+
+    from .runtime.journal import run_to_completion
+
+    manifest = _chaos_manifest(args, plan)
+    if not plan.crashes_coordinator and journal_path is None:
+        return _executor_from_manifest(manifest).run(), 0
+    if journal_path is not None:
+        return run_to_completion(
+            lambda j: _executor_from_manifest(manifest, j), journal_path, manifest
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        return run_to_completion(
+            lambda j: _executor_from_manifest(manifest, j),
+            os.path.join(tmp, f"{plan.name}.journal"),
+            manifest,
+        )
+
+
+def _chaos_crash_sweep(args) -> int:
+    """Kill the coordinator at every checkpoint; verify resumes converge.
+
+    An uninterrupted baseline run (under a journal) enumerates the
+    checkpoints. Then, for each checkpoint, a fresh run is killed exactly
+    there and resumed; the resumed run must yield the same QueryResult
+    and the same per-checkpoint payload digests as the baseline.
+    """
+    import os
+    import tempfile
+
+    from .faults import COORDINATOR_CRASH, FaultEvent, FaultPlan, get_scenario
+    from .runtime.journal import ExecutionJournal, run_to_completion
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.journal")
+        baseline, _ = _chaos_execute(args, get_scenario("none"), base_path)
+        base_digests = ExecutionJournal.load(base_path).checkpoint_digests()
+        payloads = ExecutionJournal.load(base_path).checkpoint_payloads()
+        print(
+            f"baseline: value {baseline.value!r}, "
+            f"{len(payloads)} checkpoint(s) journaled"
+        )
+        failures = 0
+        for payload in payloads:
+            seq, label = payload["seq"], payload["label"]
+            plan = FaultPlan(
+                f"crash-at-{seq}",
+                f"coordinator dies at checkpoint {seq} ({label})",
+                events=(
+                    FaultEvent(COORDINATOR_CRASH, payload["phase"], target=seq),
+                ),
+            )
+            manifest = _chaos_manifest(args, plan)
+            path = os.path.join(tmp, f"crash-at-{seq}.journal")
+            outcome, resumes = run_to_completion(
+                lambda j: _executor_from_manifest(manifest, j), path, manifest
+            )
+            digests = ExecutionJournal.load(path).checkpoint_digests()
+            same_result = outcome == baseline
+            same_digests = digests == base_digests
+            if same_result and same_digests:
+                print(
+                    f"  crash at checkpoint {seq:2d} ({label}): ok — "
+                    f"{resumes} resume(s), digests identical"
+                )
+            else:
+                failures += 1
+                print(
+                    f"  crash at checkpoint {seq:2d} ({label}): FAILED — "
+                    f"result identical: {same_result}, "
+                    f"digests identical: {same_digests}"
+                )
+    total = len(payloads)
+    print(f"{total - failures}/{total} checkpoint crash(es) resume bit-identically")
+    return 1 if failures else 0
+
+
 def cmd_chaos(args) -> int:
-    from .faults import FaultInjector, UnrecoverableFault, get_scenario, list_scenarios
-    from .runtime.executor import QueryExecutor
-    from .runtime.network import FederatedNetwork
+    from .faults import (
+        COORDINATOR_CRASH,
+        UnrecoverableFault,
+        get_scenario,
+        list_scenarios,
+    )
 
     if args.list:
-        print(f"{'scenario':16s} {'events':>6s}  description")
+        print(f"{'scenario':24s} {'events':>6s}  description")
         for plan in list_scenarios():
-            print(f"{plan.name:16s} {len(plan.events):>6d}  {plan.description}")
+            print(f"{plan.name:24s} {len(plan.events):>6d}  {plan.description}")
         return 0
-
-    def execute(plan):
-        env = QueryEnvironment(
-            num_participants=args.devices,
-            row_width=args.categories,
-            epsilon=args.epsilon,
-            sensitivity=1.0,
-        )
-        planning = Planner(env).plan_source(
-            "aggr = sum(db); output(em(aggr));", name="chaos"
-        )
-        network = FederatedNetwork(args.devices, rng=random.Random(args.seed))
-        network.load_categorical_data(args.categories)
-        executor = QueryExecutor(
-            network,
-            planning,
-            committee_size=args.committee_size,
-            key_prime_bits=96,
-            rng=random.Random(args.seed + 1),
-            faults=FaultInjector(plan, seed=args.seed),
-        )
-        return executor.run()
+    if args.crash_sweep:
+        return _chaos_crash_sweep(args)
 
     if args.scenario == "all":
         names = [plan.name for plan in list_scenarios()]
@@ -352,46 +566,97 @@ def cmd_chaos(args) -> int:
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-    baseline = execute(get_scenario("none"))
-    print(f"fault-free baseline value: {baseline.value!r}")
+    quiet = args.json
+    baseline, _ = _chaos_execute(args, get_scenario("none"))
+    if not quiet:
+        print(f"fault-free baseline value: {baseline.value!r}")
     failures = 0
+    reports = []
     for name in names:
         plan = get_scenario(name)
-        print(f"\n== {name}: {plan.description}")
+        if not quiet:
+            print(f"\n== {name}: {plan.description}")
+        report = {
+            "scenario": name,
+            "description": plan.description,
+            "resumes": 0,
+            "value": None,
+            "fault_log": None,
+        }
+        reports.append(report)
         try:
-            outcome = execute(plan)
+            outcome, resumes = _chaos_execute(args, plan)
         except UnrecoverableFault as exc:
-            print(exc.log.format())
+            report["fault_log"] = exc.log.as_dict()
+            if not quiet:
+                print(exc.log.format())
             if plan.expect_unrecoverable:
-                print(f"verdict: ok — aborted as expected ({exc.reason})")
+                verdict = f"ok — aborted as expected ({exc.reason})"
             else:
-                print(f"verdict: FAILED — unexpected abort: {exc.reason}")
+                verdict = f"FAILED — unexpected abort: {exc.reason}"
                 failures += 1
+            report["verdict"] = verdict
+            if not quiet:
+                print(f"verdict: {verdict}")
             continue
-        print(outcome.fault_log.format())
+        report["resumes"] = resumes
+        report["value"] = outcome.value
+        report["fault_log"] = outcome.fault_log.as_dict()
+        if not quiet:
+            print(outcome.fault_log.format())
+        resumed = f", {resumes} coordinator resume(s)" if resumes else ""
         if plan.expect_unrecoverable:
-            print("verdict: FAILED — run completed but was expected to abort")
+            verdict = "FAILED — run completed but was expected to abort"
             failures += 1
         elif plan.mutates_inputs:
-            print(
-                f"verdict: ok — value {outcome.value!r} (inputs mutated; "
+            verdict = (
+                f"ok — value {outcome.value!r} (inputs mutated; "
                 "baseline comparison not applicable)"
             )
         elif outcome.value != baseline.value:
-            print(
-                f"verdict: FAILED — value {outcome.value!r} differs from "
+            verdict = (
+                f"FAILED — value {outcome.value!r} differs from "
                 f"fault-free {baseline.value!r}"
             )
             failures += 1
+        elif (
+            plan.crashes_coordinator
+            and all(e.kind == COORDINATOR_CRASH for e in plan.events)
+            and outcome != baseline
+        ):
+            # A pure coordinator-crash schedule injects no member faults,
+            # so the resumed QueryResult must equal the baseline entirely
+            # (fault log included), not just in its released value.
+            verdict = "FAILED — resumed QueryResult differs from baseline"
+            failures += 1
         elif not outcome.fault_log.all_recovered:
-            print("verdict: FAILED — fault record(s) left unresolved")
+            verdict = "FAILED — fault record(s) left unresolved"
             failures += 1
         else:
-            print(
-                f"verdict: ok — bit-identical value {outcome.value!r}, "
+            verdict = (
+                f"ok — bit-identical value {outcome.value!r}, "
                 f"{outcome.fault_log.recovered} fault(s) recovered/tolerated"
+                f"{resumed}"
             )
-    print(f"\n{len(names) - failures}/{len(names)} scenario(s) ok")
+        report["verdict"] = verdict
+        if not quiet:
+            print(f"verdict: {verdict}")
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "baseline_value": baseline.value,
+                    "scenarios": reports,
+                    "failures": failures,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"\n{len(names) - failures}/{len(names)} scenario(s) ok")
     return 1 if failures else 0
 
 
@@ -495,7 +760,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print runtime data-plane counters (uploads/sec, wall times)",
     )
+    run.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="record a durable execution journal at PATH (digest-chained "
+        "write-ahead log; 'repro resume PATH' replays it after a crash)",
+    )
     run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a crashed run from its execution journal",
+    )
+    resume.add_argument(
+        "journal", help="journal file written by 'repro run --journal'"
+    )
+    resume.set_defaults(func=cmd_resume)
 
     queries = sub.add_parser("queries", help="list the built-in queries")
     queries.set_defaults(func=cmd_queries)
@@ -570,6 +849,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--epsilon", type=float, default=4.0)
     chaos.add_argument("--committee-size", type=int, default=4)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the verdicts and canonical fault logs as JSON",
+    )
+    chaos.add_argument(
+        "--crash-sweep", action="store_true",
+        help="kill the coordinator at every checkpoint in turn and verify "
+        "each resumed run is digest-identical to the uninterrupted one",
+    )
     chaos.set_defaults(func=cmd_chaos)
 
     evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")

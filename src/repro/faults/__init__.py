@@ -14,6 +14,7 @@ recover to bit-identical results; schedules that exceed it raise a typed
 """
 
 from .events import (
+    COORDINATOR_CRASH,
     CRASH,
     DATA_CHANGING_KINDS,
     DROPOUT,
@@ -28,6 +29,7 @@ from .events import (
     UNDETECTED,
     UNRECOVERABLE,
     VSR_LOSS,
+    CoordinatorCrash,
     EventLog,
     EventRecord,
     FaultEvent,
@@ -43,6 +45,7 @@ from .schedule import PHASES, PROTOCOL_KINDS, FaultPlan, RecoveryStats
 from .scenarios import SCENARIOS, get_scenario, list_scenarios
 
 __all__ = [
+    "COORDINATOR_CRASH",
     "CRASH",
     "DATA_CHANGING_KINDS",
     "DROPOUT",
@@ -60,6 +63,7 @@ __all__ = [
     "UNDETECTED",
     "UNRECOVERABLE",
     "VSR_LOSS",
+    "CoordinatorCrash",
     "EventLog",
     "EventRecord",
     "FaultEvent",

@@ -31,8 +31,22 @@ EQUIVOCATE = "equivocate"
 GARBAGE = "garbage"
 #: One dealer's VSR redistribution message is lost in transit.
 VSR_LOSS = "vsr-loss"
+#: The *coordinator process itself* dies at a named execution-journal
+#: checkpoint (`runtime/journal.py`). Unlike every other kind, this is not
+#: a protocol fault the phase-retry loop can absorb: the run survives only
+#: if a durable journal exists to resume from.
+COORDINATOR_CRASH = "coordinator-crash"
 
-FAULT_KINDS = (DROPOUT, RESTORE, CRASH, STRAGGLER, EQUIVOCATE, GARBAGE, VSR_LOSS)
+FAULT_KINDS = (
+    DROPOUT,
+    RESTORE,
+    CRASH,
+    STRAGGLER,
+    EQUIVOCATE,
+    GARBAGE,
+    VSR_LOSS,
+    COORDINATOR_CRASH,
+)
 
 #: Fault kinds that change *which data enters the aggregate* (and therefore
 #: legitimately change the released value); every other kind must be
@@ -71,6 +85,32 @@ class FaultEvent:
             parts.append(self.note)
         return " ".join(parts)
 
+    def as_dict(self) -> dict:
+        """JSON-safe representation (tuples become lists)."""
+        target = self.target
+        if isinstance(target, tuple):
+            target = list(target)
+        return {
+            "kind": self.kind,
+            "phase": self.phase,
+            "target": target,
+            "delay": self.delay,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        target = data.get("target")
+        if isinstance(target, list):
+            target = tuple(target)
+        return cls(
+            kind=data["kind"],
+            phase=data["phase"],
+            target=target,
+            delay=data.get("delay", 0.0),
+            note=data.get("note", ""),
+        )
+
 
 # ------------------------------------------------------------ event records
 
@@ -101,6 +141,14 @@ class EventRecord:
             + f" -> recovery: {self.recovery}"
             + f" -> {self.outcome}"
         )
+
+    def as_dict(self) -> dict:
+        return {
+            "fault": self.fault.as_dict(),
+            "detection": self.detection,
+            "recovery": self.recovery,
+            "outcome": self.outcome,
+        }
 
 
 @dataclass
@@ -152,6 +200,24 @@ class EventLog:
 
     # ----------------------------------------------------------- rendering
 
+    def as_dict(self) -> dict:
+        """JSON-safe representation; the exact form the execution journal
+        embeds in its checkpoint records and ``repro chaos --json`` emits."""
+        return {
+            "records": [rec.as_dict() for rec in self.records],
+            "notes": list(self.notes),
+            "retries": self.retries,
+            "waited_seconds": self.waited_seconds,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — digestable."""
+        import json
+
+        return json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
     def format(self) -> str:
         lines = [
             f"fault log: {self.injected} injected, {self.recovered} recovered/"
@@ -176,3 +242,29 @@ class UnrecoverableFault(Exception):
         super().__init__(reason)
         self.reason = reason
         self.log = log if log is not None else EventLog()
+
+
+class CoordinatorCrash(Exception):
+    """The simulated coordinator process died at a journal checkpoint.
+
+    Deliberately *not* a subclass of ``InjectedFailure``: the executor's
+    phase-retry machinery must not catch it — a process death takes the
+    whole in-memory run with it. The only recovery is a new incarnation
+    resuming from the durable :class:`~repro.runtime.journal.ExecutionJournal`
+    (whose path, when one was attached, rides along here).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        event: Optional[FaultEvent] = None,
+        checkpoint: Optional[str] = None,
+        checkpoint_seq: Optional[int] = None,
+        journal_path: Optional[str] = None,
+    ):
+        super().__init__(reason)
+        self.reason = reason
+        self.event = event
+        self.checkpoint = checkpoint
+        self.checkpoint_seq = checkpoint_seq
+        self.journal_path = journal_path

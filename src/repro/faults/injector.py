@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..mpc.engine import CheatingDetected
 from .events import (
+    COORDINATOR_CRASH,
     CRASH,
     DROPOUT,
     EQUIVOCATE,
@@ -129,6 +130,34 @@ class FaultInjector:
         """Consume one lost-VSR-message event for the current phase, if any."""
         hits = self._take(self.current_phase or "", (VSR_LOSS,))
         return hits[0] if hits else None
+
+    def take_coordinator_crash(
+        self, checkpoint_label: str, checkpoint_seq: int
+    ) -> Optional[FaultEvent]:
+        """Consume one coordinator-death event matching this checkpoint.
+
+        A coordinator-crash event targets a checkpoint, not a device: a
+        string target names the checkpoint label (``"allocate/keygen"``),
+        an integer target names the global checkpoint ordinal, and a
+        ``None`` target fires at the first checkpoint of the event's
+        phase. These events never arm via :meth:`begin_phase` — they are
+        process deaths, not member faults, and the executor consumes them
+        directly at its journal checkpoints.
+        """
+        for event in self._pending:
+            if event.kind != COORDINATOR_CRASH:
+                continue
+            if self.current_phase is not None and event.phase != self.current_phase:
+                continue
+            target = event.target
+            if (
+                target is None
+                or target == checkpoint_label
+                or (isinstance(target, int) and target == checkpoint_seq)
+            ):
+                self._pending.remove(event)
+                return event
+        return None
 
     def unconsumed(self) -> List[FaultEvent]:
         return list(self._pending) + list(self._armed)

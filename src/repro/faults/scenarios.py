@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from .events import (
+    COORDINATOR_CRASH,
     CRASH,
     DROPOUT,
     EQUIVOCATE,
@@ -85,6 +86,53 @@ SCENARIOS = {
             events=(
                 FaultEvent(DROPOUT, "decrypt", target=(5, 6, 7, 8)),
                 FaultEvent(RESTORE, "program", target=(5, 6, 7, 8)),
+            ),
+        ),
+        FaultPlan(
+            "coordinator-crash-keygen",
+            "the coordinator process dies at the keygen allocation "
+            "checkpoint, before any budget was charged; a fresh incarnation "
+            "resumes from the execution journal and replays forward",
+            events=(
+                FaultEvent(COORDINATOR_CRASH, "keygen", target="allocate/keygen"),
+            ),
+        ),
+        FaultPlan(
+            "coordinator-crash-input",
+            "the coordinator dies after the aggregate was committed — the "
+            "privacy budget is already journaled, so the resumed "
+            "incarnation must complete without double-billing the accountant",
+            events=(
+                FaultEvent(COORDINATOR_CRASH, "input", target="input/aggregated"),
+            ),
+        ),
+        FaultPlan(
+            "coordinator-crash-program",
+            "the coordinator dies mid-mechanism (at the first noising "
+            "committee); resume re-derives identical labelled noise streams",
+            events=(
+                FaultEvent(COORDINATOR_CRASH, "program", target="allocate/noise[0]"),
+            ),
+        ),
+        FaultPlan(
+            "coordinator-crash-double",
+            "two independent process deaths in one run, in different "
+            "phases; the journal grows across three incarnations",
+            events=(
+                FaultEvent(COORDINATOR_CRASH, "decrypt", target="allocate/decryption"),
+                FaultEvent(COORDINATOR_CRASH, "program", target="allocate/noise[0]"),
+            ),
+        ),
+        FaultPlan(
+            "crash-amid-churn",
+            "keygen-committee churn forces Shamir share recovery, then the "
+            "coordinator dies; the resumed incarnation replays the "
+            "recovery bit-identically from its seeded substreams",
+            events=(
+                FaultEvent(DROPOUT, "decrypt", target="keygen#1"),
+                FaultEvent(
+                    COORDINATOR_CRASH, "program", target="allocate/operations"
+                ),
             ),
         ),
         FaultPlan(

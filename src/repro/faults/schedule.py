@@ -15,7 +15,14 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
-from .events import CRASH, FAULT_KINDS, STRAGGLER, VSR_LOSS, FaultEvent
+from .events import (
+    COORDINATOR_CRASH,
+    CRASH,
+    FAULT_KINDS,
+    STRAGGLER,
+    VSR_LOSS,
+    FaultEvent,
+)
 
 #: Protocol phases the executor announces to the injector, in order.
 PHASES = ("keygen", "input", "decrypt", "program")
@@ -49,8 +56,37 @@ class FaultPlan:
                     f"unknown phase {event.phase!r}; phases are {PHASES}"
                 )
 
+    @property
+    def crashes_coordinator(self) -> bool:
+        """True when the schedule kills the coordinator process itself.
+
+        Such plans only complete when the executor carries a durable
+        journal (``repro chaos`` drives them through crash→resume).
+        """
+        return any(e.kind == COORDINATOR_CRASH for e in self.events)
+
     def events_for(self, phase: str) -> List[FaultEvent]:
         return [e for e in self.events if e.phase == phase]
+
+    def as_dict(self) -> dict:
+        """JSON-safe form, embedded in execution-journal manifests."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "events": [e.as_dict() for e in self.events],
+            "expect_unrecoverable": self.expect_unrecoverable,
+            "mutates_inputs": self.mutates_inputs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
+            expect_unrecoverable=data.get("expect_unrecoverable", False),
+            mutates_inputs=data.get("mutates_inputs", False),
+        )
 
     def describe(self) -> str:
         header = f"{self.name}: {self.description or '(no description)'}"

@@ -70,3 +70,22 @@ class PrivacyAccountant:
             )
         self.spent = self.spent + cost
         self.history.append((label, cost))
+
+    def charged(self, label: str) -> bool:
+        """Whether some charge was already debited under ``label``."""
+        return any(entry == label for entry, _ in self.history)
+
+    def charge_once(self, cost: PrivacyCost, label: str) -> bool:
+        """Debit ``cost`` unless ``label`` was already charged.
+
+        This is the replay-safe entry point for crash recovery: a resumed
+        executor incarnation re-walks the keygen phase, and the budget must
+        be debited exactly once per label no matter how many incarnations
+        pass through it. Returns True if the debit happened now, False if
+        the label had already paid. Atomicity matches ``charge``: on
+        BudgetExceeded nothing is debited.
+        """
+        if self.charged(label):
+            return False
+        self.charge(cost, label)
+        return True

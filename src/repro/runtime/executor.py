@@ -42,10 +42,29 @@ result *bit-identical* to its fault-free twin; once the schedule exceeds
 what §5.1 tolerates the executor raises a typed
 :class:`~repro.faults.UnrecoverableFault` carrying the full event log —
 never a hang, never a silently wrong answer.
+
+Durability
+----------
+
+Committee churn is survivable in-memory, but the coordinator process
+itself dying is not: attach an
+:class:`~repro.runtime.journal.ExecutionJournal` and every
+``_checkpoint()`` boundary becomes durable — phase label, committee
+allocations, labelled RNG stream positions, sealed held-secret state,
+budget charges (write-ahead, keyed by label), and the fault event log,
+each record chained by SHA-256. A scheduled
+:data:`~repro.faults.COORDINATOR_CRASH` kills the run with a typed
+:class:`~repro.faults.CoordinatorCrash`; a fresh incarnation built from
+the journal manifest replays deterministically, verifying each
+checkpoint against the journaled record (divergence is a typed error,
+never a silently different answer), absorbs the recorded death, and
+continues — releasing a ``QueryResult`` byte-identical to the
+uninterrupted run with the accountant charged exactly once per label.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 import time
@@ -63,6 +82,7 @@ from ..faults import (
     TOLERATED,
     UNDETECTED,
     UNRECOVERABLE,
+    CoordinatorCrash,
     EventLog,
     FaultInjector,
     InjectedFailure,
@@ -95,6 +115,7 @@ from .committee import (
     limbs_to_bigint,
 )
 from .interp import MechanismHooks, Secret, SecureInterpreter
+from .journal import ExecutionJournal, payload_digest
 from .network import FederatedNetwork
 
 #: Failures the phase-retry loop knows how to recover from by failing the
@@ -135,6 +156,11 @@ class RuntimeStatistics:
     uploads_verified_per_second: float = 0.0
     uploads_rejected_per_second: float = 0.0
     decrypt_seconds: float = 0.0
+    #: Durable-journal counters (``repro run --journal`` / ``repro resume``).
+    checkpoints: int = 0
+    journal_records: int = 0
+    journal_replayed: int = 0
+    resume_events: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return dict(vars(self))
@@ -179,8 +205,6 @@ class _HeldSecrets:
 
 def hashlib_sha256_int(value: int) -> bytes:
     """Digest of a big integer (used for public-key fingerprints)."""
-    import hashlib
-
     width = (value.bit_length() + 7) // 8 or 1
     return hashlib.sha256(value.to_bytes(width, "big")).digest()
 
@@ -200,6 +224,7 @@ class QueryExecutor:
         faults: Optional[FaultInjector] = None,
         max_phase_retries: int = 3,
         data_plane: str = "vectorized",
+        journal: Optional[ExecutionJournal] = None,
     ):
         if data_plane not in ("vectorized", "legacy"):
             raise ValueError(
@@ -231,6 +256,20 @@ class QueryExecutor:
         self._laplace_seq = 0
         self.data_plane = data_plane
         self._packing: Optional[SlotPacking] = None
+        #: Durable write-ahead journal; a loaded journal puts the run in
+        #: resume mode (replay-verify to the last intact record, then
+        #: continue appending). See runtime/journal.py.
+        self.journal = journal
+        self._checkpoint_seq = 0
+        self._rng_labels: List[str] = []
+        self._journaled_rng_labels = 0
+        #: Charges made at their in-order execution point this incarnation
+        #: (part of every checkpoint payload, so replay must reproduce it).
+        self._charges: Dict[str, Tuple[float, float]] = {}
+        #: Ledger restored from the journal: labels prior incarnations
+        #: already paid for. Consulted by the charge site, never placed in
+        #: a checkpoint payload ahead of its original execution point.
+        self._restored_charges: Dict[str, Tuple[float, float]] = {}
         self.statistics = RuntimeStatistics(data_plane=data_plane)
         #: The validated dataflow PrivacyCertificate for this run (set by
         #: the verify gate; its digest is folded into the signed
@@ -259,7 +298,7 @@ class QueryExecutor:
                 # Symbolic fault targets like "keygen#1" name members of
                 # the *first* committee a phase allocated.
                 self.faults.note_allocation(phase, committee)
-        self._checkpoint()
+        self._checkpoint(f"allocate/{name}")
         return committee
 
     def _fresh(self, label: str) -> random.Random:
@@ -268,16 +307,126 @@ class QueryExecutor:
         In a chaos run this is the injector's labelled substream — stable
         across phase replays, so recovery re-derives identical noise, bin
         placements, and sampling offsets. Without an injector it is the
-        executor's own rng, keeping the legacy path bit-compatible.
+        executor's own rng, keeping the legacy path bit-compatible. Every
+        label is recorded in order so journal checkpoints can attest to
+        the RNG stream positions the run has consumed.
         """
+        self._rng_labels.append(label)
         if self.faults is None:
             return self.rng
         return self.faults.fresh(label)
 
-    def _checkpoint(self) -> None:
-        """A phase-internal boundary where armed faults may fire."""
+    def _checkpoint(self, label: str) -> None:
+        """A named execution boundary: journal record, then armed faults.
+
+        When a journal is attached, the full recovery-relevant state
+        (allocations, RNG labels, sealed held secrets, charges, fault
+        log) is made durable *before* any fault may fire, so a process
+        death at this exact point loses nothing. A scheduled
+        coordinator-crash event then fires here — unless a crash record
+        from a previous incarnation absorbs it, which is how a resumed
+        run sails past its own death point.
+        """
+        seq = self._checkpoint_seq
+        self._checkpoint_seq += 1
+        self.statistics.checkpoints = self._checkpoint_seq
+        if self.journal is not None:
+            replayed = self.journal.checkpoint(self._checkpoint_payload(seq, label))
+            if replayed:
+                self.statistics.journal_replayed += 1
+            self.statistics.journal_records = self.journal.record_count
         if self.faults is not None:
+            while True:
+                event = self.faults.take_coordinator_crash(label, seq)
+                if event is None:
+                    break
+                if self.journal is not None and self.journal.consume_crash(seq, label):
+                    # This incarnation is the resume of exactly this death.
+                    # Surfaced via statistics only: the released QueryResult
+                    # must stay byte-identical to the uninterrupted run.
+                    self.statistics.resume_events += 1
+                    continue
+                if self.journal is not None:
+                    self.journal.record_crash(seq, label, event.as_dict())
+                raise CoordinatorCrash(
+                    f"coordinator process died at checkpoint {seq} ({label})"
+                    + (
+                        f"; resume from journal {self.journal.path}"
+                        if self.journal is not None
+                        else "; no journal was attached, the run is lost"
+                    ),
+                    event=event,
+                    checkpoint=label,
+                    checkpoint_seq=seq,
+                    journal_path=self.journal.path if self.journal else None,
+                )
             self.faults.maybe_fail()
+
+    def _checkpoint_payload(self, seq: int, label: str) -> Dict[str, object]:
+        """Everything a checkpoint record attests to, JSON-canonical.
+
+        The RNG stream attestation stores the labels drawn *since the
+        previous checkpoint* plus a rolling digest over all labels so far:
+        full information across the journal without quadratic growth.
+        """
+        digest = hashlib.sha256()
+        for drawn in self._rng_labels:
+            digest.update(drawn.encode("utf-8"))
+            digest.update(b";")
+        new_labels = self._rng_labels[self._journaled_rng_labels :]
+        self._journaled_rng_labels = len(self._rng_labels)
+        return {
+            "seq": seq,
+            "label": label,
+            "phase": self.faults.current_phase if self.faults is not None else None,
+            "allocations": [
+                {"name": c.name, "members": list(c.members)}
+                for c in (self.pool.allocated if self.pool is not None else [])
+            ],
+            "rng_streams": {
+                "count": len(self._rng_labels),
+                "digest": digest.hexdigest(),
+                "new_labels": new_labels,
+            },
+            "held_secrets": self._sealed_held_secrets(),
+            "charges": {
+                label_: {"epsilon": eps, "delta": delta}
+                for label_, (eps, delta) in sorted(self._charges.items())
+            },
+            "events": self.faults.log.as_dict() if self.faults is not None else None,
+        }
+
+    def _sealed_held_secrets(self) -> List[Dict[str, object]]:
+        """Commitments to the live secrets parked with mid-run committees.
+
+        The journal must never hold key material, so each held vector is
+        *sealed*: a SHA-256 digest over its Shamir share points. The
+        digest is replay-stable (shares derive from the executor's seeded
+        rng) and lets a resumed run prove it reconstructed the identical
+        secret state without the journal ever learning it.
+        """
+        sealed: List[Dict[str, object]] = []
+        for held in self._held_secrets:
+            hasher = hashlib.sha256()
+            widths: Dict[str, int] = {}
+            for name in sorted(held.vectors):
+                vector = held.vectors[name]
+                widths[name] = len(vector)
+                for value in vector:
+                    for pid in sorted(value.shares):
+                        share = value.shares[pid]
+                        hasher.update(
+                            f"{name}/{pid}/{share.x}/{share.y};".encode("utf-8")
+                        )
+            sealed.append(
+                {
+                    "committee": held.committee.name,
+                    "members": list(held.committee.members),
+                    "vectors": widths,
+                    "seal": hasher.hexdigest(),
+                }
+            )
+        return sealed
 
     # ------------------------------------------------------ phase machinery
 
@@ -435,6 +584,8 @@ class QueryExecutor:
 
             verify_planning_result(self.planning).raise_if_failed()
             self._validate_privacy_certificate()
+        if self.journal is not None:
+            self._restore_from_journal()
         n = len(self.network)
         m = self.committee_size
         max_committees = max(1, n // m)
@@ -468,6 +619,19 @@ class QueryExecutor:
         committees_used = len(self.pool.allocated)
         self._log(f"done: {committees_used} committees participated")
         fault_log = self.faults.finish() if self.faults is not None else None
+        if self.journal is not None:
+            self.journal.record_result(
+                {
+                    "outputs_repr": repr(outputs),
+                    "outputs_digest": payload_digest(repr(outputs)),
+                    "epsilon_charged": self.planning.certificate.epsilon,
+                    "committees_used": committees_used,
+                    "rejected_devices": list(aggregator.rejected),
+                    "events": list(self.events),
+                    "fault_log": fault_log.as_dict() if fault_log else None,
+                }
+            )
+            self.statistics.journal_records = self.journal.record_count
         agg = aggregator.stats
         self.statistics.uploads_verified = agg.uploads_verified
         self.statistics.uploads_rejected = agg.uploads_rejected
@@ -517,22 +681,56 @@ class QueryExecutor:
                 raise PlanVerificationError(report)
         self.privacy_certificate = attached or derived
 
-    # ---------------------------------------------------------------- setup
+    def _restore_from_journal(self) -> None:
+        """Adopt the durable ledger state of previous incarnations.
+
+        Journaled charges are the source of truth for budget already
+        spent: they are re-applied to the (fresh, in-memory) accountant
+        exactly once per label, and remembered so the charge site skips
+        them during replay. A journal that already holds a result refuses
+        to run again — there is nothing left to resume.
+        """
+        from .journal import JournalError
+
+        if self.journal.completed:
+            raise JournalError(
+                f"journal {self.journal.path!r} already records a completed "
+                "run; refusing to re-execute (read the result instead)"
+            )
+        for label, (eps, delta) in self.journal.charges().items():
+            self._restored_charges[label] = (eps, delta)
+            if self.accountant is not None:
+                self.accountant.charge_once(PrivacyCost(eps, delta), label)
 
     def _phase_keygen(self) -> paillier.PaillierPrivateKey:
         committee = self._allocate("keygen")
         # Budget check happens before any key material is produced (§5.2);
-        # the charge is guarded so a keygen replay cannot double-bill.
+        # the charge is guarded so a keygen replay cannot double-bill, and
+        # journaled (write-ahead, keyed by label) so a coordinator crash
+        # between charging and finishing cannot double-bill either.
         if self.accountant is not None and not self._budget_charged:
+            label = self.logical.query_name
             cost = PrivacyCost(
                 self.planning.certificate.epsilon, self.planning.certificate.delta
             )
-            if not self.accountant.can_afford(cost):
-                raise QueryRejected(
-                    f"privacy budget exhausted for {self.logical.query_name!r}"
-                )
-            self.accountant.charge(cost, self.logical.query_name)
-            self._budget_charged = True
+            if label in self._restored_charges:
+                # A previous incarnation already paid for this query (the
+                # accountant was restored from the journal ledger); adopt
+                # the charge into the payload-visible map here — the same
+                # execution point where the original incarnation charged —
+                # so replayed checkpoint payloads stay identical.
+                self._charges[label] = self._restored_charges[label]
+                self._budget_charged = True
+            else:
+                if not self.accountant.can_afford(cost):
+                    raise QueryRejected(
+                        f"privacy budget exhausted for {label!r}"
+                    )
+                if self.journal is not None:
+                    self.journal.charge(label, cost.epsilon, cost.delta)
+                self.accountant.charge_once(cost, label)
+                self._charges[label] = (cost.epsilon, cost.delta)
+                self._budget_charged = True
         secret_key = paillier.keygen(self.key_prime_bits, self._fresh("keygen"))
         limb_count = math.ceil((2 * self.key_prime_bits + 8) / 96) + 1
         shares: Dict[str, List[SecretValue]] = {
@@ -656,7 +854,7 @@ class QueryExecutor:
         )
         if audits_failed:
             raise ExecutionError(f"{audits_failed} participant audits failed")
-        self._checkpoint()
+        self._checkpoint("input/aggregated")
         return aggregator, totals, audits_failed
 
     def _apply_garbage_faults(self) -> List[Tuple[object, List[int]]]:

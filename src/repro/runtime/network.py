@@ -62,9 +62,9 @@ class FederatedNetwork:
             secret = self.rng.getrandbits(128).to_bytes(16, "big")
             malicious = self.rng.random() < malicious_fraction
             self.devices.append(Device(device_id, secret, malicious=malicious))
-        seed = self.rng.getrandbits(256).to_bytes(32, "big")
+        sortition_seed = self.rng.getrandbits(256).to_bytes(32, "big")
         self.sortition = SortitionState.initial(
-            [d.device_id for d in self.devices], seed
+            [d.device_id for d in self.devices], sortition_seed
         )
 
     def __len__(self) -> int:
@@ -75,6 +75,11 @@ class FederatedNetwork:
         return [d.device_id for d in self.devices]
 
     def device(self, device_id: int) -> Device:
+        if not 1 <= device_id <= len(self.devices):
+            raise KeyError(
+                f"unknown device id {device_id!r}; this deployment has "
+                f"devices 1..{len(self.devices)}"
+            )
         return self.devices[device_id - 1]
 
     def load_categorical_data(self, categories: int, distribution: Sequence[float] = None) -> None:
