@@ -10,25 +10,37 @@ Times the hot execution path at three granularities and writes
   retained per-secret Horner reference (shares/sec, identical RNG draws
   and outputs);
 * **end-to-end queries** — a full top-1 query (keygen, uploads + ZKPs,
-  aggregation, VSR, MPC program) at several device counts under both data
-  planes: ``legacy`` (one Paillier ciphertext per logical slot, sequential
-  folds — the seed behaviour) and ``vectorized`` (packed slots, batched
-  sharing, tree reductions). Both planes release byte-identical
-  ``QueryResult``s — ``tests/test_runtime_equivalence.py`` asserts that —
-  so this measures pure data-plane speed.
+  aggregation, VSR, MPC program) at several device counts under all three
+  data planes: ``legacy`` (one Paillier ciphertext per logical slot,
+  sequential folds — the seed behaviour), ``vectorized`` (packed slots,
+  batched sharing, tree reductions; byte-identical to legacy —
+  ``tests/test_runtime_equivalence.py`` asserts that), and ``sharded``
+  (the event-driven shard runtime over the multi-level aggregation tree;
+  its own RNG schedule, with serial/parallel byte-identity asserted by
+  ``tests/test_sharded_runtime.py``);
+* **sharded scale** — the sharded plane alone from 16k to 10^6 simulated
+  devices (the flat planes stop being practical around 4096);
+* **tree-depth sweep** — one population, several aggregation-tree
+  fanouts, to show depth is a topology knob, not a cost cliff.
 
 Protocol: every configuration gets one untimed warmup, then ``--reps``
-timed runs, reporting the median. Device-side upload throughput
-(uploads/sec) comes from the executor's own ``RuntimeStatistics``.
+timed runs, reporting the median (the scale series runs once, unwarmed —
+at 10^6 devices the run *is* the warmup). Upload throughput is reported
+**per data plane** from each plane's own ``RuntimeStatistics`` — the
+seed harness divided one plane's upload count by another plane's wall
+time, which is why committed uploads/sec used to *drop* with scale.
 
 Usage::
 
     python benchmarks/bench_runtime.py --reps 3 --out BENCH_runtime.json
     python benchmarks/bench_runtime.py --smoke   # small counts, regression gate
 
-``--smoke`` (used by ``make check`` / CI) runs the two smallest device
-counts once and fails if the vectorized plane got more than 2x slower
-than the committed baseline.
+``--smoke`` (used by ``make check`` / CI) validates the committed JSON
+against the expected schema (so the sharded series cannot silently
+disappear), runs the two smallest device counts once, and fails if the
+vectorized plane got more than 2x slower than the committed baseline or
+the sharded plane is slower than the vectorized one at the largest smoke
+size.
 """
 
 from __future__ import annotations
@@ -55,6 +67,12 @@ from repro.runtime.network import FederatedNetwork  # noqa: E402
 TOP1 = "aggr = sum(db); r = em(aggr); output(r);"
 DEVICE_COUNTS = [64, 256, 1024, 4096]
 SMOKE_COUNTS = [64, 256]
+SCALE_COUNTS = [16384, 65536, 262144, 1048576]
+SCALE_SHARD_SIZE = 4096
+TREE_SWEEP_DEVICES = 65536
+TREE_SWEEP_FANOUTS = [2, 4, 16, 64]
+E2E_SHARD_SIZE = 256
+E2E_TREE_FANOUT = 4
 CATEGORIES = 8
 KEY_PRIME_BITS = 128
 SEED = 11
@@ -137,7 +155,13 @@ def bench_share_vector(reps: int) -> dict:
 # -------------------------------------------------------------- end-to-end
 
 
-def _run_query(devices: int, data_plane: str):
+def _run_query(
+    devices: int,
+    data_plane: str,
+    shard_size: int = E2E_SHARD_SIZE,
+    tree_fanout: int = E2E_TREE_FANOUT,
+    shard_workers: int = 0,
+):
     env = QueryEnvironment(
         num_participants=devices,
         row_width=CATEGORIES,
@@ -156,66 +180,212 @@ def _run_query(devices: int, data_plane: str):
         key_prime_bits=KEY_PRIME_BITS,
         rng=random.Random(SEED + 1),
         data_plane=data_plane,
+        shard_size=shard_size,
+        tree_fanout=tree_fanout,
+        shard_workers=shard_workers,
     )
     started = time.perf_counter()
     result = executor.run()
     return time.perf_counter() - started, result
 
 
+def _uploads_per_second(stats) -> float:
+    """One plane's own throughput: its uploads over its own submit time."""
+    if not stats.submit_seconds:
+        return 0.0
+    return stats.uploads_submitted / stats.submit_seconds
+
+
 def bench_e2e(device_counts, reps: int):
     rows = []
     for devices in device_counts:
         medians = {}
-        stats = None
+        throughput = {}
+        plane_stats = {}
         legacy_result = None
-        for plane in ("legacy", "vectorized"):
+        for plane in ("legacy", "vectorized", "sharded"):
             samples = []
             for rep in range(reps + 1):  # rep 0 is the untimed warmup
                 seconds, result = _run_query(devices, plane)
                 if rep:
                     samples.append(seconds)
             medians[plane] = statistics.median(samples)
+            # Per-plane throughput from the *last* timed run's own stats:
+            # dividing one plane's upload count by another plane's wall
+            # time is the bug that made committed uploads/sec fall as the
+            # device count grew.
+            throughput[plane] = _uploads_per_second(result.statistics)
+            plane_stats[plane] = result.statistics
             if plane == "legacy":
                 legacy_result = result
-            else:
-                stats = result.statistics
-                if result != legacy_result:
-                    raise SystemExit(
-                        f"data planes disagree at {devices} devices — run "
-                        "the equivalence suite"
-                    )
-        uploads_per_second = (
-            stats.uploads_submitted / stats.submit_seconds
-            if stats.submit_seconds
-            else 0.0
-        )
+            elif plane == "vectorized" and result != legacy_result:
+                raise SystemExit(
+                    f"flat data planes disagree at {devices} devices — run "
+                    "the equivalence suite"
+                )
+        sharded = plane_stats["sharded"]
         rows.append(
             {
                 "devices": devices,
                 "legacy_seconds": medians["legacy"],
                 "vectorized_seconds": medians["vectorized"],
+                "sharded_seconds": medians["sharded"],
                 "speedup": medians["legacy"] / medians["vectorized"],
-                "uploads_per_second": uploads_per_second,
-                "packing_lanes": stats.packing_lanes,
+                "sharded_speedup_vs_vectorized": (
+                    medians["vectorized"] / medians["sharded"]
+                ),
+                "legacy_uploads_per_second": throughput["legacy"],
+                "vectorized_uploads_per_second": throughput["vectorized"],
+                "sharded_uploads_per_second": throughput["sharded"],
+                "packing_lanes": plane_stats["vectorized"].packing_lanes,
+                "shards": sharded.shards,
+                "tree_depth": sharded.tree_depth,
             }
         )
         print(
             f"{devices:5d} devices  legacy {medians['legacy']:7.2f} s  "
             f"vectorized {medians['vectorized']:7.2f} s  "
-            f"{rows[-1]['speedup']:5.2f}x  "
-            f"{uploads_per_second:9.0f} uploads/s"
+            f"sharded {medians['sharded']:7.2f} s  "
+            f"({rows[-1]['speedup']:5.2f}x / "
+            f"{rows[-1]['sharded_speedup_vs_vectorized']:5.2f}x)  "
+            f"{throughput['sharded']:9.0f} sharded uploads/s"
         )
     return rows
+
+
+def bench_sharded_scale(device_counts):
+    """The sharded plane alone, one unwarmed run per count (reps are not
+    affordable at 10^6 devices, and at that scale noise is a rounding
+    error on a multi-second run)."""
+    rows = []
+    for devices in device_counts:
+        seconds, result = _run_query(
+            devices, "sharded", shard_size=SCALE_SHARD_SIZE, tree_fanout=16
+        )
+        stats = result.statistics
+        rows.append(
+            {
+                "devices": devices,
+                "sharded_seconds": seconds,
+                "sharded_uploads_per_second": _uploads_per_second(stats),
+                "shard_size": stats.shard_size,
+                "shards": stats.shards,
+                "tree_depth": stats.tree_depth,
+                "scheduler_events": stats.scheduler_events,
+            }
+        )
+        print(
+            f"{devices:8d} devices  sharded {seconds:7.2f} s  "
+            f"{rows[-1]['sharded_uploads_per_second']:9.0f} uploads/s  "
+            f"{stats.shards:4d} shards, tree depth {stats.tree_depth}"
+        )
+    return rows
+
+
+def bench_tree_depth(devices: int, fanouts):
+    """Same population, different aggregation-tree shapes."""
+    rows = []
+    for fanout in fanouts:
+        seconds, result = _run_query(
+            devices,
+            "sharded",
+            shard_size=SCALE_SHARD_SIZE // 4,
+            tree_fanout=fanout,
+        )
+        stats = result.statistics
+        rows.append(
+            {
+                "devices": devices,
+                "tree_fanout": fanout,
+                "tree_depth": stats.tree_depth,
+                "shards": stats.shards,
+                "sharded_seconds": seconds,
+            }
+        )
+        print(
+            f"fanout {fanout:3d} -> depth {stats.tree_depth}  "
+            f"{seconds:7.2f} s ({stats.shards} shards)"
+        )
+    return rows
+
+
+# ------------------------------------------------------------------ schema
+
+#: Keys every committed end-to-end row must carry. A refactor that drops
+#: the sharded series (or quietly reverts to cross-plane throughput)
+#: fails the smoke gate instead of shipping a hollowed-out BENCH file.
+E2E_ROW_KEYS = frozenset(
+    {
+        "devices",
+        "legacy_seconds",
+        "vectorized_seconds",
+        "sharded_seconds",
+        "speedup",
+        "sharded_speedup_vs_vectorized",
+        "legacy_uploads_per_second",
+        "vectorized_uploads_per_second",
+        "sharded_uploads_per_second",
+        "packing_lanes",
+        "shards",
+        "tree_depth",
+    }
+)
+SCALE_ROW_KEYS = frozenset(
+    {
+        "devices",
+        "sharded_seconds",
+        "sharded_uploads_per_second",
+        "shard_size",
+        "shards",
+        "tree_depth",
+        "scheduler_events",
+    }
+)
+SWEEP_ROW_KEYS = frozenset(
+    {"devices", "tree_fanout", "tree_depth", "shards", "sharded_seconds"}
+)
+
+
+def check_schema(payload: dict) -> list:
+    """Validate a BENCH_runtime.json payload; returns a list of problems."""
+    problems = []
+    for section in ("microbenchmarks", "end_to_end", "sharded_scale", "tree_depth_sweep"):
+        if section not in payload:
+            problems.append(f"missing section {section!r}")
+    for section, required in (
+        ("end_to_end", E2E_ROW_KEYS),
+        ("sharded_scale", SCALE_ROW_KEYS),
+        ("tree_depth_sweep", SWEEP_ROW_KEYS),
+    ):
+        rows = payload.get(section)
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"section {section!r} is empty")
+            continue
+        for row in rows:
+            missing = required - set(row)
+            if missing:
+                problems.append(
+                    f"{section} row for {row.get('devices')} devices is "
+                    f"missing {sorted(missing)}"
+                )
+    scale = payload.get("sharded_scale") or []
+    if scale and max(row.get("devices", 0) for row in scale) < 10**6:
+        problems.append("sharded_scale series no longer reaches 10^6 devices")
+    return problems
 
 
 def smoke(baseline_path: Path) -> int:
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; run 'make bench-runtime' first")
         return 1
-    baseline = {
-        row["devices"]: row
-        for row in json.loads(baseline_path.read_text())["end_to_end"]
-    }
+    payload = json.loads(baseline_path.read_text())
+    problems = check_schema(payload)
+    if problems:
+        print(f"committed {baseline_path.name} fails the schema check:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    baseline = {row["devices"]: row for row in payload["end_to_end"]}
     rows = bench_e2e(SMOKE_COUNTS, reps=1)
     failures = []
     for row in rows:
@@ -227,12 +397,22 @@ def smoke(baseline_path: Path) -> int:
                 f"{row['devices']} devices: {row['vectorized_seconds']:.2f} s vs "
                 f"baseline {base['vectorized_seconds']:.2f} s (> 2x regression)"
             )
+    largest = rows[-1]
+    if largest["sharded_seconds"] > largest["vectorized_seconds"]:
+        failures.append(
+            f"{largest['devices']} devices: sharded plane "
+            f"({largest['sharded_seconds']:.2f} s) is slower than the "
+            f"vectorized plane ({largest['vectorized_seconds']:.2f} s)"
+        )
     if failures:
         print("runtime benchmark regression:")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("runtime smoke benchmark within 2x of committed baseline")
+    print(
+        "runtime smoke benchmark: schema ok, within 2x of committed "
+        "baseline, sharded plane no slower than vectorized"
+    )
     return 0
 
 
@@ -264,6 +444,8 @@ def main() -> int:
         f"({micro['share_vector']['vectorized_shares_per_second']:.3g} shares/s)"
     )
     rows = bench_e2e(DEVICE_COUNTS, args.reps)
+    scale_rows = bench_sharded_scale(SCALE_COUNTS)
+    sweep_rows = bench_tree_depth(TREE_SWEEP_DEVICES, TREE_SWEEP_FANOUTS)
     largest = rows[-1]
     payload = {
         "benchmark": "runtime-data-plane",
@@ -273,12 +455,23 @@ def main() -> int:
         "query": TOP1,
         "microbenchmarks": micro,
         "end_to_end": rows,
+        "sharded_scale": scale_rows,
+        "tree_depth_sweep": sweep_rows,
         "e2e_speedup_at_largest": largest["speedup"],
+        "sharded_speedup_at_largest": largest["sharded_speedup_vs_vectorized"],
     }
+    problems = check_schema(payload)
+    if problems:
+        print("generated payload fails its own schema check:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(
-        f"e2e speedup at {largest['devices']} devices: "
-        f"{largest['speedup']:.2f}x -> {args.out}"
+        f"e2e at {largest['devices']} devices: "
+        f"{largest['speedup']:.2f}x (vectorized vs legacy), "
+        f"{largest['sharded_speedup_vs_vectorized']:.2f}x (sharded vs "
+        f"vectorized) -> {args.out}"
     )
     return 0
 

@@ -185,6 +185,13 @@ def _executor_from_manifest(manifest: dict, journal=None):
     planning = Planner(env).plan_source(
         manifest["source"], name=manifest["query_name"]
     )
+    # Sharded-plane knobs: manifest.get so journals written before the
+    # sharded plane existed still rebuild (they ran a flat plane).
+    shard_kwargs = {
+        "shard_size": manifest.get("shard_size", 1024),
+        "shard_workers": manifest.get("shard_workers", 0),
+        "tree_fanout": manifest.get("tree_fanout", 16),
+    }
     if manifest["recipe"] == "chaos":
         network = FederatedNetwork(
             manifest["devices"], rng=random.Random(manifest["seed"])
@@ -200,7 +207,9 @@ def _executor_from_manifest(manifest: dict, journal=None):
                 FaultPlan.from_dict(manifest["scenario"]),
                 seed=manifest["fault_seed"],
             ),
+            data_plane=manifest.get("data_plane", "vectorized"),
             journal=journal,
+            **shard_kwargs,
         )
     # recipe == "run": one rng shared by sortition and executor.
     rng = random.Random(manifest["seed"])
@@ -215,6 +224,7 @@ def _executor_from_manifest(manifest: dict, journal=None):
         rng=rng,
         data_plane=manifest["data_plane"],
         journal=journal,
+        **shard_kwargs,
     )
 
 
@@ -234,6 +244,9 @@ def cmd_run(args) -> int:
         "malicious": args.malicious,
         "seed": args.seed,
         "data_plane": args.data_plane,
+        "shard_size": args.shard_size,
+        "shard_workers": args.shard_workers,
+        "tree_fanout": args.tree_fanout,
     }
     journal = (
         ExecutionJournal.create(args.journal, manifest) if args.journal else None
@@ -454,6 +467,10 @@ def _chaos_manifest(args, plan) -> dict:
         "seed": args.seed,
         "fault_seed": args.seed,
         "scenario": plan.as_dict(),
+        "data_plane": args.data_plane,
+        "shard_size": args.shard_size,
+        "shard_workers": args.shard_workers,
+        "tree_fanout": args.tree_fanout,
     }
 
 
@@ -750,10 +767,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--data-plane",
-        choices=("vectorized", "legacy"),
+        choices=("vectorized", "legacy", "sharded"),
         default="vectorized",
-        help="execution data plane: packed/batched kernels or the seed "
-        "one-ciphertext-per-slot path (results are byte-identical)",
+        help="execution data plane: packed/batched kernels, the seed "
+        "one-ciphertext-per-slot path (byte-identical to vectorized), or "
+        "the sharded event-driven runtime (own RNG schedule; serial and "
+        "parallel sharded runs are byte-identical to each other)",
+    )
+    run.add_argument(
+        "--shard-size", type=int, default=1024,
+        help="devices per shard on the sharded plane",
+    )
+    run.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker threads for parallel-safe shard events "
+        "(0/1 = the serial oracle; any count is byte-identical)",
+    )
+    run.add_argument(
+        "--tree-fanout", type=int, default=16,
+        help="children per internal aggregation-tree node",
     )
     run.add_argument(
         "--stats",
@@ -849,6 +881,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--epsilon", type=float, default=4.0)
     chaos.add_argument("--committee-size", type=int, default=4)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--data-plane",
+        choices=("vectorized", "legacy", "sharded"),
+        default="sharded",
+        help="data plane under fault injection (default: sharded, so "
+        "crash sweeps exercise the shard-scoped checkpoints)",
+    )
+    chaos.add_argument(
+        "--shard-size", type=int, default=8,
+        help="devices per shard (small default so the smoke deployment "
+        "spans several shards and tree levels)",
+    )
+    chaos.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker threads for parallel-safe shard events",
+    )
+    chaos.add_argument(
+        "--tree-fanout", type=int, default=2,
+        help="children per internal aggregation-tree node",
+    )
     chaos.add_argument(
         "--json", action="store_true",
         help="emit the verdicts and canonical fault logs as JSON",

@@ -93,15 +93,26 @@ def draw_obfuscator(pk: PaillierPublicKey, rng: random.Random) -> int:
             return r
 
 
+def encrypt_with_pad(
+    pk: PaillierPublicKey, m: int, pad: int
+) -> PaillierCiphertext:
+    """Encrypt plaintext m under a precomputed randomizer pad ``r^n mod n^2``.
+
+    The heavy ``pow(r, n, n^2)`` is the caller's to amortize: a pad is any
+    n-th residue, and a product of pads is again a pad, which is what the
+    sharded runtime's subset-product obfuscator pool exploits.
+    """
+    m %= pk.n
+    n2 = pk.n_squared
+    # g^m = (n+1)^m = 1 + m*n (mod n^2), a standard Paillier optimization.
+    return PaillierCiphertext(((1 + m * pk.n) % n2) * (pad % n2) % n2, pk.n)
+
+
 def encrypt_with_obfuscator(
     pk: PaillierPublicKey, m: int, r: int
 ) -> PaillierCiphertext:
     """Encrypt plaintext m (taken mod n) under explicit randomness r."""
-    m %= pk.n
-    n2 = pk.n_squared
-    # g^m = (n+1)^m = 1 + m*n (mod n^2), a standard Paillier optimization.
-    c = ((1 + m * pk.n) % n2) * pow(r, pk.n, n2) % n2
-    return PaillierCiphertext(c, pk.n)
+    return encrypt_with_pad(pk, m, pow(r, pk.n, pk.n_squared))
 
 
 def encrypt(pk: PaillierPublicKey, m: int, rng: random.Random = None) -> PaillierCiphertext:

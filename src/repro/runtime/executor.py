@@ -156,6 +156,14 @@ class RuntimeStatistics:
     uploads_verified_per_second: float = 0.0
     uploads_rejected_per_second: float = 0.0
     decrypt_seconds: float = 0.0
+    #: Sharded-plane counters (zero on the flat planes).
+    shards: int = 0
+    shard_size: int = 0
+    tree_depth: int = 0
+    scheduler_workers: int = 0
+    scheduler_events: int = 0
+    scheduler_batches: int = 0
+    scheduler_max_batch: int = 0
     #: Durable-journal counters (``repro run --journal`` / ``repro resume``).
     checkpoints: int = 0
     journal_records: int = 0
@@ -225,11 +233,17 @@ class QueryExecutor:
         max_phase_retries: int = 3,
         data_plane: str = "vectorized",
         journal: Optional[ExecutionJournal] = None,
+        shard_size: int = 1024,
+        shard_workers: int = 0,
+        tree_fanout: int = 16,
     ):
-        if data_plane not in ("vectorized", "legacy"):
+        if data_plane not in ("vectorized", "legacy", "sharded"):
             raise ValueError(
-                f"unknown data plane {data_plane!r}; expected 'vectorized' or 'legacy'"
+                f"unknown data plane {data_plane!r}; expected 'vectorized', "
+                "'legacy', or 'sharded'"
             )
+        if shard_size < 1:
+            raise ValueError("shard_size must be positive")
         self.network = network
         self.planning = planning
         self.verify_plan = verify_plan
@@ -255,6 +269,18 @@ class QueryExecutor:
         self._noise_seq = 0
         self._laplace_seq = 0
         self.data_plane = data_plane
+        self.shard_size = shard_size
+        self.shard_workers = max(0, int(shard_workers))
+        self.tree_fanout = tree_fanout
+        #: Master seed of the sharded plane's labelled substreams. Drawn
+        #: once at construction (sharded mode only, so flat planes keep
+        #: their exact draw schedules) from the executor's seeded rng —
+        #: deterministic across resume incarnations, and independent of
+        #: worker count because per-shard streams derive from it by label,
+        #: never from shared stream position.
+        self._shard_seed: Optional[int] = (
+            self.rng.getrandbits(64) if data_plane == "sharded" else None
+        )
         self._packing: Optional[SlotPacking] = None
         #: Durable write-ahead journal; a loaded journal puts the run in
         #: resume mode (replay-verify to the last intact record, then
@@ -315,6 +341,27 @@ class QueryExecutor:
         if self.faults is None:
             return self.rng
         return self.faults.fresh(label)
+
+    def _shard_stream(self, label: str) -> random.Random:
+        """A labelled substream for one unit of sharded-plane work.
+
+        Unlike :meth:`_fresh`, the fault-free path does *not* fall back to
+        the executor's shared rng: every shard's stream is derived from
+        the plane's master seed by label, so the draw schedule is a pure
+        function of (seed, label) — identical whether shards execute
+        serially or on a worker pool, which is the root of the sharded
+        plane's serial-oracle equivalence. Chaos runs derive from the
+        injector instead, keeping recovery replays bit-identical. Streams
+        are always derived on the scheduler's serial path (event post /
+        serial handlers), never inside a worker, so the label attestation
+        order is deterministic too.
+        """
+        self._rng_labels.append(label)
+        if self.faults is not None:
+            return self.faults.fresh(label)
+        from ..faults import derive_stream_seed
+
+        return random.Random(derive_stream_seed(self._shard_seed, label))
 
     def _checkpoint(self, label: str) -> None:
         """A named execution boundary: journal record, then armed faults.
@@ -589,6 +636,14 @@ class QueryExecutor:
         n = len(self.network)
         m = self.committee_size
         max_committees = max(1, n // m)
+        if self.data_plane == "sharded":
+            # Million-device populations do not need hundreds of thousands
+            # of standby committees; cap the pool (the paper provisions a
+            # small constant number of committees regardless of N, §5.1).
+            # Applied to the sharded plane only so the flat planes' byte
+            # streams are untouched; below 64·m devices the cap is inert,
+            # so small chaos deployments keep their committee structure.
+            max_committees = max(1, min(max_committees, 64))
         assignment = self.network.select_committees(max_committees, m)
         round_hook = self.faults.on_round if self.faults is not None else None
         self.pool = CommitteePool(
@@ -814,7 +869,7 @@ class QueryExecutor:
         Signed ranges stay unpacked: a negative residue mod n would smear
         across every lane.
         """
-        if self.data_plane != "vectorized":
+        if self.data_plane == "legacy":
             return None
         categories = self.env.row_width
         one_hot = self.env.row_encoding == "one_hot"
@@ -830,9 +885,169 @@ class QueryExecutor:
         max_slot_sum = len(self.network) * per_device_max
         return plan_packing(width, max_slot_sum, public_key.plaintext_modulus)
 
+    def _input_statement(self, bins: int):
+        """The upload well-formedness statement shared by every data plane."""
+        categories = self.env.row_width
+        one_hot = self.env.row_encoding == "one_hot"
+        width = categories * bins if one_hot else categories
+        if one_hot:
+            statement = one_hot_statement(width)
+        else:
+            lo = int(self.env.db_element.interval.lo)
+            hi = int(self.env.db_element.interval.hi)
+            statement = range_statement(width, lo, hi)
+        return categories, one_hot, width, statement
+
+    def _phase_input_sharded(
+        self, public_key: paillier.PaillierPublicKey, bins: int
+    ):
+        """The sharded, event-driven input phase (tentpole of the plane).
+
+        The population is gathered once (struct-of-arrays), sliced into
+        :class:`~repro.runtime.shard.DeviceShard` batches, and the intake
+        runs as a ``churn -> upload -> verify -> aggregate -> fold`` event
+        pipeline over an :class:`~repro.runtime.aggregator.AggregatorTree`:
+
+        * ``churn`` (serial) re-syncs a shard's liveness/malice snapshot
+          with the network and derives the shard's labelled RNG stream —
+          all shared-state reads and stream derivations happen here, on
+          the scheduler's serial path.
+        * ``upload``/``verify`` (parallel-safe) are pure per-shard stages
+          from :mod:`~repro.runtime.shard`.
+        * ``aggregate`` (serial) ingests a verified batch into its tree
+          leaf and journals the shard-scoped checkpoint
+          (``input/shard{i}``) — so a coordinator crash resumes at shard
+          granularity, not phase granularity.
+        * ``fold`` (serial) combines an internal tree node the moment its
+          last child lands.
+
+        With ``shard_workers <= 1`` this is the serial oracle; any worker
+        count produces byte-identical results (see scheduler contract).
+        """
+        from . import scheduler as event_scheduler
+        from .aggregator import AggregatorTree
+        from .shard import ObfuscatorPool, ShardContext, build_shards, upload_shard, verify_shard
+
+        categories, one_hot, width, statement = self._input_statement(bins)
+        round_number = self.network.sortition.round_number
+        garbage = self._apply_garbage_faults()
+        # One obfuscator pad pool per run: real obfuscators from a labelled
+        # stream, shared read-only by every shard worker (see shard.py for
+        # the subset-product construction and DESIGN.md for the trade).
+        pool = ObfuscatorPool(public_key, self._shard_stream("sharded/pads"))
+        ctx = ShardContext(
+            public_key=public_key,
+            statement=statement,
+            categories=categories,
+            bins=bins,
+            one_hot=one_hot,
+            width=width,
+            round_number=round_number,
+            packing=self._packing,
+            pool=pool,
+        )
+        ids, values, online, malicious = self.network.soa_view()
+        shards = build_shards(ids, values, online, malicious, self.shard_size)
+        tree = AggregatorTree(
+            public_key, num_leaves=len(shards), fanout=self.tree_fanout
+        )
+        scheduler = event_scheduler.EventScheduler(workers=self.shard_workers)
+        devices = self.network.devices
+        submit_seconds = 0.0
+
+        def on_churn(event):
+            shard = event.payload
+            # Re-snapshot liveness/malice against the authoritative device
+            # list (direct indexing per the contiguous-id invariant):
+            # population faults applied at the phase boundary are visible
+            # to the shard without any per-device lookup structure.
+            for pos, device_id in enumerate(shard.device_ids):
+                device = devices[int(device_id) - 1]
+                shard.online[pos] = device.online
+                shard.malicious[pos] = device.malicious
+            stream = self._shard_stream(shard.stream_label)
+            return None, [
+                (event_scheduler.UPLOAD, shard.shard_id, (shard, stream))
+            ]
+
+        def on_upload(event):
+            shard, stream = event.payload
+            batch = upload_shard(shard, ctx, stream)
+            return batch, [(event_scheduler.VERIFY, shard.shard_id, batch)]
+
+        def on_verify(event):
+            result = verify_shard(event.payload, ctx)
+            return result, [
+                (event_scheduler.AGGREGATE, result.shard_id, result)
+            ]
+
+        def on_aggregate(event):
+            nonlocal submit_seconds
+            result = event.payload
+            ready = tree.ingest_leaf(result)
+            submit_seconds += result.submit_seconds
+            self.statistics.uploads_submitted += result.uploads_received
+            self._checkpoint(f"input/shard{result.shard_id}")
+            return None, (
+                [(event_scheduler.FOLD, ready[1], ready)] if ready else []
+            )
+
+        def on_fold(event):
+            level, index = event.payload
+            ready = tree.fold_node(level, index)
+            return None, (
+                [(event_scheduler.FOLD, ready[1], ready)] if ready else []
+            )
+
+        scheduler.register(event_scheduler.CHURN, on_churn)
+        scheduler.register(event_scheduler.UPLOAD, on_upload, parallel=True)
+        scheduler.register(event_scheduler.VERIFY, on_verify, parallel=True)
+        scheduler.register(event_scheduler.AGGREGATE, on_aggregate)
+        scheduler.register(event_scheduler.FOLD, on_fold)
+        for shard in shards:
+            scheduler.post(event_scheduler.CHURN, shard.shard_id, shard)
+        scheduler.drain()
+
+        self._resolve_garbage_faults(garbage, tree)
+        if not tree.root.accepted:
+            raise ExecutionError("every upload was rejected")
+        self._log(
+            f"inputs: {tree.root.accepted} accepted, {len(tree.rejected)} "
+            f"rejected across {len(shards)} shards "
+            f"(tree depth {tree.depth}, fanout {self.tree_fanout})"
+        )
+        totals = tree.totals()
+        audits_failed = tree.run_audits(
+            self._shard_stream("sharded/audit"),
+            auditors=min(len(self.network), 16),
+        )
+        if audits_failed:
+            raise ExecutionError(f"{audits_failed} participant audits failed")
+        self.statistics.submit_seconds += submit_seconds
+        self.statistics.logical_width = width
+        self.statistics.packed_width = (
+            self._packing.packed_width if self._packing else width
+        )
+        self.statistics.packing_lanes = (
+            self._packing.lanes if self._packing else 1
+        )
+        self.statistics.shards = len(shards)
+        self.statistics.shard_size = self.shard_size
+        self.statistics.tree_depth = tree.depth
+        self.statistics.scheduler_workers = scheduler.stats.workers
+        self.statistics.scheduler_events = sum(
+            scheduler.stats.events_processed.values()
+        )
+        self.statistics.scheduler_batches = scheduler.stats.batches_dispatched
+        self.statistics.scheduler_max_batch = scheduler.stats.max_batch
+        self._checkpoint("input/aggregated")
+        return tree, totals, audits_failed
+
     def _phase_input(
         self, public_key: paillier.PaillierPublicKey, bins: int
     ) -> Tuple[AggregatorNode, List[paillier.PaillierCiphertext], int]:
+        if self.data_plane == "sharded":
+            return self._phase_input_sharded(public_key, bins)
         aggregator = AggregatorNode(public_key)
         garbage = self._apply_garbage_faults()
         self._submit_inputs(aggregator, public_key, bins)
@@ -889,15 +1104,7 @@ class QueryExecutor:
         public_key: paillier.PaillierPublicKey,
         bins: int,
     ) -> None:
-        categories = self.env.row_width
-        one_hot = self.env.row_encoding == "one_hot"
-        width = categories * bins if one_hot else categories
-        if one_hot:
-            statement = one_hot_statement(width)
-        else:
-            lo = int(self.env.db_element.interval.lo)
-            hi = int(self.env.db_element.interval.hi)
-            statement = range_statement(width, lo, hi)
+        categories, one_hot, width, statement = self._input_statement(bins)
         round_number = self.network.sortition.round_number
         packing = self._packing
         started = time.perf_counter()

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..crypto.sortition import (
     CommitteeAssignment,
@@ -66,6 +68,24 @@ class FederatedNetwork:
         self.sortition = SortitionState.initial(
             [d.device_id for d in self.devices], sortition_seed
         )
+        self._check_contiguous_ids()
+
+    def _check_contiguous_ids(self) -> None:
+        """Validate once that ``devices[i].device_id == i + 1``.
+
+        ``device()`` and the struct-of-arrays gathers index the list
+        directly on that invariant instead of scanning or keeping an
+        id->index map, which is what keeps shard construction at 10^6
+        devices linear. Checked once here (O(n)) so a future constructor
+        change that breaks the layout fails loudly, not with silently
+        wrong lookups.
+        """
+        for index, dev in enumerate(self.devices):
+            if dev.device_id != index + 1:
+                raise ValueError(
+                    f"device list is not contiguously numbered: position "
+                    f"{index} holds device_id {dev.device_id!r}"
+                )
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -99,6 +119,38 @@ class FederatedNetwork:
         for d in self.devices:
             row = [self.rng.randint(low, high) for _ in range(width)]
             d.value = row if width > 1 else row[0]
+
+    def soa_view(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One linear gather of the population as struct-of-arrays.
+
+        Returns ``(device_ids, values, online, malicious)`` numpy arrays
+        in device-id order — the input the sharded data plane slices into
+        :class:`~repro.runtime.shard.DeviceShard` batches. Relies on the
+        contiguous-id invariant checked at construction, so the gather is
+        O(n) with no per-device lookups. ``values`` is ``(n,)`` int64 for
+        scalar data and ``(n, width)`` for numeric vectors; devices with
+        no loaded datum contribute 0.
+        """
+        n = len(self.devices)
+        ids = np.arange(1, n + 1, dtype=np.int64)
+        online = np.fromiter(
+            (d.online for d in self.devices), dtype=bool, count=n
+        )
+        malicious = np.fromiter(
+            (d.malicious for d in self.devices), dtype=bool, count=n
+        )
+        first = self.devices[0].value
+        if isinstance(first, (list, tuple)):
+            values = np.asarray([d.value for d in self.devices], dtype=np.int64)
+        else:
+            values = np.fromiter(
+                (d.value if d.value is not None else 0 for d in self.devices),
+                dtype=np.int64,
+                count=n,
+            )
+        return ids, values, online, malicious
 
     def take_offline(self, device_ids: Sequence[int]) -> None:
         """Churn hook: the listed devices stop responding."""

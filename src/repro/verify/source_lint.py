@@ -136,6 +136,7 @@ _STREAM_SEED_FUNCS = {
     "fresh": 0,
     "persistent": 0,
     "_fresh": 0,
+    "_shard_stream": 0,
 }
 
 

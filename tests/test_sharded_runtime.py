@@ -1,0 +1,519 @@
+"""Sharded event-driven runtime: scheduler, shards, tree, and equivalence.
+
+The sharded data plane's contract differs from the vectorized one's: it
+owns its RNG schedule (per-shard labelled streams), so its released
+values are not compared against the flat planes. Its oracle is *itself*:
+``shard_workers=0`` drains the event pipeline one event at a time, and
+every other worker count must release a byte-identical ``QueryResult``.
+On top of that sit the multi-level aggregation tree's audit guarantees
+(any internal level reproduces the shard-leaf inclusion proofs) and the
+shard-scoped journal checkpoints (a coordinator death mid-intake resumes
+bit-identically).
+"""
+
+import json
+import random
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.crypto import paillier
+from repro.crypto.zkp import one_hot_statement
+from repro.faults import (
+    COORDINATOR_CRASH,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    get_scenario,
+)
+from repro.planner.search import plan_query
+from repro.runtime.aggregator import AggregatorNode, AggregatorTree, Upload
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.journal import run_to_completion
+from repro.runtime.network import FederatedNetwork
+from repro.runtime.scheduler import (
+    AGGREGATE,
+    CHURN,
+    EventScheduler,
+    FOLD,
+    UPLOAD,
+    VERIFY,
+)
+from repro.runtime.shard import (
+    DeviceShard,
+    ObfuscatorPool,
+    ShardContext,
+    build_shards,
+    upload_shard,
+    verify_shard,
+)
+from tests.conftest import small_env
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOP1 = "aggr = sum(db); r = em(aggr); output(r);"
+SEED = 11
+
+
+def _run(
+    data_plane="sharded",
+    devices=64,
+    seed=SEED,
+    malicious_fraction=0.0,
+    scenario=None,
+    shard_size=8,
+    shard_workers=0,
+    tree_fanout=2,
+    journal=None,
+):
+    env = small_env(num_participants=devices, categories=8, epsilon=8.0)
+    planning = plan_query(TOP1, env, name="sharded-equiv")
+    network = FederatedNetwork(
+        devices, rng=random.Random(seed), malicious_fraction=malicious_fraction
+    )
+    network.load_categorical_data(8)
+    faults = None
+    if scenario is not None:
+        plan = scenario if isinstance(scenario, FaultPlan) else get_scenario(scenario)
+        faults = FaultInjector(plan, seed=seed)
+    executor = QueryExecutor(
+        network,
+        planning,
+        committee_size=4,
+        key_prime_bits=96,
+        rng=random.Random(seed + 1),
+        faults=faults,
+        data_plane=data_plane,
+        shard_size=shard_size,
+        shard_workers=shard_workers,
+        tree_fanout=tree_fanout,
+        journal=journal,
+    )
+    return executor.run()
+
+
+# ------------------------------------------------------------- scheduler
+
+
+class TestEventScheduler:
+    def _pipeline(self, workers, items=10):
+        """A churn->upload->verify->aggregate pipeline over plain ints."""
+        sched = EventScheduler(workers=workers)
+        trace = []
+
+        sched.register(
+            CHURN,
+            lambda ev: (None, [(UPLOAD, ev.shard_id, ev.shard_id * 10)]),
+        )
+        sched.register(
+            UPLOAD, lambda ev: (ev.payload + 1, [(VERIFY, ev.shard_id, ev.payload + 1)]),
+            parallel=True,
+        )
+        sched.register(
+            VERIFY, lambda ev: (ev.payload, [(AGGREGATE, ev.shard_id, ev.payload)]),
+            parallel=True,
+        )
+        sched.register(
+            AGGREGATE,
+            lambda ev: (trace.append((ev.shard_id, ev.payload)), []),
+        )
+        for i in range(items):
+            sched.post(CHURN, i)
+        handled = sched.drain()
+        return trace, handled, sched.stats
+
+    def test_serial_and_parallel_traces_identical(self):
+        serial, handled_s, _ = self._pipeline(workers=0)
+        parallel, handled_p, stats = self._pipeline(workers=4)
+        assert serial == parallel
+        assert handled_s == handled_p == 40
+        assert serial == [(i, i * 10 + 1) for i in range(10)]
+        assert stats.max_batch > 1  # parallel dispatch actually batched
+
+    def test_serial_kinds_never_batch(self):
+        _, _, stats = self._pipeline(workers=4)
+        # aggregate is serial: 10 events -> 10 single-event batches.
+        assert stats.events_processed[AGGREGATE] == 10
+
+    def test_unregistered_kind_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError, match="no handler"):
+            sched.post(FOLD, 0)
+        with pytest.raises(ValueError, match="unknown event kind"):
+            sched.register("teleport", lambda ev: (None, []))
+
+    def test_followups_run_after_batch_in_seq_order(self):
+        sched = EventScheduler(workers=4)
+        order = []
+        sched.register(
+            UPLOAD, lambda ev: (order.append(("u", ev.shard_id)), [(VERIFY, ev.shard_id, None)]),
+            parallel=True,
+        )
+        sched.register(VERIFY, lambda ev: (order.append(("v", ev.shard_id)), []))
+        for i in range(6):
+            sched.post(UPLOAD, i)
+        sched.drain()
+        # All verifies post after the upload batch merges, in seq order.
+        assert order[6:] == [("v", i) for i in range(6)]
+
+
+# ------------------------------------------------------- shards and pool
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    sk = paillier.keygen(bits=96, rng=random.Random(3))
+    return sk.public, sk
+
+
+@pytest.fixture(scope="module")
+def shard_ctx(keypair):
+    pk, _ = keypair
+    return ShardContext(
+        public_key=pk,
+        statement=one_hot_statement(8),
+        categories=8,
+        bins=1,
+        one_hot=True,
+        width=8,
+        round_number=1,
+        packing=None,
+        pool=ObfuscatorPool(pk, random.Random(42), pool_size=16, subset_size=4),
+    )
+
+
+def _make_shard(n=12, shard_id=0, offline=(), malicious=()):
+    ids = np.arange(1, n + 1, dtype=np.int64)
+    values = np.arange(n, dtype=np.int64) % 8
+    online = np.ones(n, dtype=bool)
+    online[list(offline)] = False
+    mal = np.zeros(n, dtype=bool)
+    mal[list(malicious)] = True
+    return DeviceShard(shard_id, ids, values, online, mal, "sharded/upload/0")
+
+
+class TestShardStages:
+    def test_pool_draws_decrypt_correctly(self, keypair):
+        pk, sk = keypair
+        pool = ObfuscatorPool(pk, random.Random(7), pool_size=8, subset_size=3)
+        rng = random.Random(9)
+        for m in (0, 1, 12345):
+            ct = paillier.encrypt_with_pad(pk, m, pool.draw(rng))
+            assert paillier.decrypt(sk, ct) == m
+
+    def test_pool_and_upload_deterministic(self, keypair, shard_ctx):
+        pk, _ = keypair
+        pads_a = ObfuscatorPool(pk, random.Random(42), pool_size=16)._pads
+        pads_b = ObfuscatorPool(pk, random.Random(42), pool_size=16)._pads
+        assert pads_a == pads_b
+        batch_a = upload_shard(_make_shard(), shard_ctx, random.Random(5))
+        batch_b = upload_shard(_make_shard(), shard_ctx, random.Random(5))
+        assert [u.ciphertexts[0].value for u in batch_a.uploads] == [
+            u.ciphertexts[0].value for u in batch_b.uploads
+        ]
+
+    def test_offline_devices_never_upload(self, shard_ctx):
+        batch = upload_shard(_make_shard(offline=[2, 5]), shard_ctx, random.Random(5))
+        uploaded = {u.device_id for u in batch.uploads}
+        assert uploaded == set(range(1, 13)) - {3, 6}
+
+    def test_malicious_uploads_rejected_at_the_leaf(self, shard_ctx):
+        batch = upload_shard(
+            _make_shard(malicious=[1, 4]), shard_ctx, random.Random(5)
+        )
+        result = verify_shard(batch, shard_ctx)
+        assert result.rejected == [2, 5]
+        assert result.accepted == 10
+        assert result.uploads_received == 12
+        assert len(result.upload_digests) == 10
+
+    def test_build_shards_slices_and_labels(self):
+        ids = np.arange(1, 21, dtype=np.int64)
+        values = np.zeros(20, dtype=np.int64)
+        online = np.ones(20, dtype=bool)
+        mal = np.zeros(20, dtype=bool)
+        shards = build_shards(ids, values, online, mal, shard_size=8)
+        assert [len(s) for s in shards] == [8, 8, 4]
+        assert [s.stream_label for s in shards] == [
+            "sharded/upload/0", "sharded/upload/1", "sharded/upload/2"
+        ]
+        # Snapshots are copies: churn on one shard cannot leak to another.
+        shards[0].online[0] = False
+        assert online[0]
+
+
+# ------------------------------------------------- upload digest caching
+
+
+class TestUploadDigestCache:
+    def _upload(self, keypair):
+        pk, _ = keypair
+        rng = random.Random(4)
+        vector = [1, 0, 0, 0, 0, 0, 0, 0]
+        from repro.crypto.zkp import prove
+        from repro.runtime.aggregator import ciphertext_vector_digest
+
+        cts = [paillier.encrypt(pk, v, rng) for v in vector]
+        proof = prove(
+            one_hot_statement(8), vector, 1, 1, ciphertext_vector_digest(cts)
+        )
+        return Upload(1, cts, proof, vector)
+
+    def test_digest_cached_after_first_call(self, keypair):
+        upload = self._upload(keypair)
+        first = upload.digest()
+        assert upload._digest == first
+        assert upload.digest() is first  # reused, not recomputed
+
+    def test_tamper_after_cache_still_caught_by_verify(self, keypair):
+        pk, _ = keypair
+        node = AggregatorNode(pk)
+        upload = self._upload(keypair)
+        upload.digest()  # populate the cache
+        node.receive_upload(upload)
+        node.tamper_with_upload(0)
+        # The cached digest is stale, but the verify path recomputes the
+        # ciphertext digest from the stored ciphertexts and rejects.
+        assert node.verify_uploads() == []
+        assert node.rejected == [1]
+
+    def test_tamper_after_cache_still_caught_by_shard_verify(
+        self, keypair, shard_ctx
+    ):
+        batch = upload_shard(_make_shard(n=4), shard_ctx, random.Random(5))
+        for upload in batch.uploads:
+            upload.digest()
+        batch.uploads[2].ciphertexts[0] = paillier.tampered(
+            batch.uploads[2].ciphertexts[0]
+        )
+        result = verify_shard(batch, shard_ctx)
+        assert result.rejected == [3]
+        assert result.accepted == 3
+
+
+# ------------------------------------------------------ aggregator tree
+
+
+class TestAggregatorTree:
+    def _folded_tree(self, keypair, shard_ctx, num_shards=9, fanout=2):
+        pk, _ = keypair
+        tree = AggregatorTree(pk, num_leaves=num_shards, fanout=fanout)
+        ready = []
+        for sid in range(num_shards):
+            shard = _make_shard(shard_id=sid)
+            result = verify_shard(
+                upload_shard(shard, shard_ctx, random.Random(100 + sid)),
+                shard_ctx,
+            )
+            parent = tree.ingest_leaf(result)
+            if parent:
+                ready.append(parent)
+        while ready:
+            parent = tree.fold_node(*ready.pop(0))
+            if parent:
+                ready.append(parent)
+        return tree
+
+    def test_depth_and_fanout(self, keypair):
+        pk, _ = keypair
+        assert AggregatorTree(pk, num_leaves=9, fanout=2).depth == 5
+        assert AggregatorTree(pk, num_leaves=16, fanout=4).depth == 3
+        assert AggregatorTree(pk, num_leaves=1, fanout=2).depth == 2
+        with pytest.raises(ValueError):
+            AggregatorTree(pk, num_leaves=0)
+        with pytest.raises(ValueError):
+            AggregatorTree(pk, num_leaves=4, fanout=1)
+
+    def test_root_totals_decrypt_to_population_sum(self, keypair, shard_ctx):
+        pk, sk = keypair
+        tree = self._folded_tree(keypair, shard_ctx)
+        counts = [paillier.decrypt(sk, ct) for ct in tree.totals()]
+        # 9 shards x 12 devices, values i % 8: categories 0..3 get 2 per
+        # shard, categories 4..7 get 1 per shard.
+        assert counts == [18, 18, 18, 18, 9, 9, 9, 9]
+        assert tree.root.accepted == 9 * 12
+
+    def test_audits_at_internal_levels_reproduce_leaf_proofs(
+        self, keypair, shard_ctx
+    ):
+        tree = self._folded_tree(keypair, shard_ctx)
+        assert tree.depth >= 4  # the point: audits cross multiple levels
+        assert tree.run_audits(random.Random(5), auditors=16) == 0
+        for leaf_index in range(9):
+            assert tree.verify_leaf_inclusion(leaf_index)
+
+    def test_rewritten_child_commitment_detected_on_path(self, keypair, shard_ctx):
+        tree = self._folded_tree(keypair, shard_ctx)
+        victim = tree.levels[1][2]  # parent of leaves 4 and 5
+        victim.node.corrupt_step(0)  # rewrite the child/0.4 commitment
+        assert not tree.verify_leaf_inclusion(4)
+        assert tree.verify_leaf_inclusion(0)  # other paths unaffected
+
+    def test_rewritten_fold_detected_by_internal_audit(self, keypair, shard_ctx):
+        tree = self._folded_tree(keypair, shard_ctx)
+        victim = tree.levels[1][2]
+        victim.node.corrupt_step(len(victim.children))  # the fold step
+        # The inclusion chain only walks child commitments; the random
+        # internal-level step audit is what covers fold steps.
+        assert tree.run_audits(random.Random(5), auditors=32) > 0
+
+    def test_substituted_leaf_digest_detected(self, keypair, shard_ctx):
+        tree = self._folded_tree(keypair, shard_ctx)
+        tree.levels[0][4].digest = b"\x00" * 32
+        assert not tree.verify_leaf_inclusion(4)
+        assert tree.verify_leaf_inclusion(0)  # other paths unaffected
+
+    def test_double_ingest_and_premature_fold_rejected(self, keypair, shard_ctx):
+        pk, _ = keypair
+        tree = AggregatorTree(pk, num_leaves=4, fanout=2)
+        result = verify_shard(
+            upload_shard(_make_shard(shard_id=0), shard_ctx, random.Random(1)),
+            shard_ctx,
+        )
+        tree.ingest_leaf(result)
+        with pytest.raises(ValueError, match="ingested twice"):
+            tree.ingest_leaf(result)
+        with pytest.raises(ValueError, match="waits on"):
+            tree.fold_node(1, 0)
+        with pytest.raises(ValueError, match="has not folded"):
+            tree.totals()
+
+
+# ------------------------------------------- network struct-of-arrays
+
+
+class TestNetworkSoA:
+    def test_soa_view_matches_devices(self):
+        net = FederatedNetwork(20, rng=random.Random(2), malicious_fraction=0.3)
+        net.load_categorical_data(8)
+        net.take_offline([3, 9])
+        ids, values, online, malicious = net.soa_view()
+        assert list(ids) == list(range(1, 21))
+        assert values.tolist() == [d.value for d in net.devices]
+        assert online.tolist() == [d.online for d in net.devices]
+        assert malicious.tolist() == [d.malicious for d in net.devices]
+
+    def test_contiguous_id_invariant_enforced(self):
+        net = FederatedNetwork(8, rng=random.Random(2))
+        net.devices[3], net.devices[4] = net.devices[4], net.devices[3]
+        with pytest.raises(ValueError, match="contiguously numbered"):
+            net._check_contiguous_ids()
+
+
+# --------------------------------------------------- end-to-end oracle
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _run(shard_workers=0, malicious_fraction=0.1)
+
+    def test_parallel_workers_byte_identical_to_serial(self, serial):
+        for workers in (2, 5):
+            assert _run(shard_workers=workers, malicious_fraction=0.1) == serial
+
+    def test_sharded_stats_populated(self, serial):
+        stats = serial.statistics
+        assert stats.data_plane == "sharded"
+        assert stats.shards == 8
+        assert stats.tree_depth == 4  # 8 leaves at fanout 2
+        assert stats.scheduler_events == 8 * 4 + 7  # 4 stages + 7 folds
+        assert stats.uploads_submitted == 64
+        assert stats.packing_lanes > 1  # slot packing engaged
+
+    def test_malicious_rejection_independent_of_workers(self):
+        serial = _run(seed=21, malicious_fraction=0.25, shard_workers=0)
+        parallel = _run(seed=21, malicious_fraction=0.25, shard_workers=3)
+        assert serial.rejected_devices
+        assert serial == parallel
+
+    def test_shard_topology_changes_do_not_change_rejections(self):
+        # Different shard sizes reshape the tree, but accept/reject is a
+        # per-upload decision: the rejected set must be stable.
+        a = _run(seed=21, malicious_fraction=0.25, shard_size=8)
+        b = _run(seed=21, malicious_fraction=0.25, shard_size=32, tree_fanout=4)
+        assert a.rejected_devices == b.rejected_devices
+
+    @pytest.mark.parametrize("scenario", ["keygen-loss", "churn-wave", "vsr-loss"])
+    def test_chaos_scenarios_bit_identical_under_parallelism(self, scenario):
+        serial = _run(scenario=scenario, shard_workers=0)
+        parallel = _run(scenario=scenario, shard_workers=4)
+        assert serial.outputs == parallel.outputs
+        assert serial.rejected_devices == parallel.rejected_devices
+
+
+class TestShardedCrashResume:
+    def test_crash_at_shard_checkpoint_resumes_bit_identically(self, tmp_path):
+        baseline = _run(scenario="none")
+        plan = FaultPlan(
+            "crash-at-shard",
+            "coordinator dies mid-intake, at the third shard checkpoint",
+            events=(FaultEvent(COORDINATOR_CRASH, "input", target="input/shard2"),),
+        )
+        result, resumes = run_to_completion(
+            lambda j: None or _run_builder(plan, j),
+            str(tmp_path / "shard-crash.journal"),
+            {"recipe": "test"},
+        )
+        assert resumes == 1
+        assert result == baseline
+
+
+def _run_builder(plan, journal):
+    """An executor factory for run_to_completion (mirrors _run's recipe)."""
+    env = small_env(num_participants=64, categories=8, epsilon=8.0)
+    planning = plan_query(TOP1, env, name="sharded-equiv")
+    network = FederatedNetwork(64, rng=random.Random(SEED))
+    network.load_categorical_data(8)
+    return QueryExecutor(
+        network,
+        planning,
+        committee_size=4,
+        key_prime_bits=96,
+        rng=random.Random(SEED + 1),
+        faults=FaultInjector(plan, seed=SEED),
+        data_plane="sharded",
+        shard_size=8,
+        shard_workers=0,
+        tree_fanout=2,
+        journal=journal,
+    )
+
+
+# ------------------------------------------------------- bench schema
+
+
+class TestBenchSchema:
+    @pytest.fixture()
+    def bench(self):
+        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+        try:
+            import bench_runtime
+        finally:
+            sys.path.pop(0)
+        return bench_runtime
+
+    def test_committed_bench_file_passes_schema(self, bench):
+        payload = json.loads((REPO_ROOT / "BENCH_runtime.json").read_text())
+        assert bench.check_schema(payload) == []
+
+    def test_dropping_sharded_series_fails_schema(self, bench):
+        payload = json.loads((REPO_ROOT / "BENCH_runtime.json").read_text())
+        broken = dict(payload)
+        del broken["sharded_scale"]
+        assert any("sharded_scale" in p for p in bench.check_schema(broken))
+        hollow = dict(payload)
+        hollow["end_to_end"] = [
+            {k: v for k, v in row.items() if "sharded" not in k}
+            for row in payload["end_to_end"]
+        ]
+        assert bench.check_schema(hollow)
+
+    def test_scale_series_must_reach_a_million(self, bench):
+        payload = json.loads((REPO_ROOT / "BENCH_runtime.json").read_text())
+        capped = dict(payload)
+        capped["sharded_scale"] = [
+            row for row in payload["sharded_scale"] if row["devices"] < 10**6
+        ]
+        assert any("10^6" in p for p in bench.check_schema(capped))
