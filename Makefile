@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: install test lint verify-sweep bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke chaos-smoke chaos-resume-smoke check eval examples artifacts all
+.PHONY: install test lint verify-sweep bench bench-planner bench-planner-smoke bench-runtime bench-runtime-smoke bench-service bench-service-smoke chaos-smoke chaos-resume-smoke check eval examples artifacts all
 
 install:
 	python setup.py develop
@@ -33,6 +33,12 @@ bench-runtime:
 bench-runtime-smoke:
 	python benchmarks/bench_runtime.py --smoke --out BENCH_runtime.json
 
+bench-service:
+	python benchmarks/bench_service.py --queries 40 --out BENCH_service.json
+
+bench-service-smoke:
+	python benchmarks/bench_service.py --smoke --out BENCH_service.json
+
 verify-sweep:
 	python -m repro verify-sweep
 
@@ -42,7 +48,7 @@ chaos-smoke:
 chaos-resume-smoke:
 	python -m repro chaos --crash-sweep --devices 32 --committee-size 4
 
-check: lint verify-sweep test bench-planner-smoke bench-runtime-smoke chaos-smoke chaos-resume-smoke
+check: lint verify-sweep test bench-planner-smoke bench-runtime-smoke bench-service-smoke chaos-smoke chaos-resume-smoke
 
 eval:
 	python -m repro eval all

@@ -31,6 +31,16 @@ Commands
              resumed run is digest-identical to the uninterrupted one.
 ``resume``   reload a ``--journal`` file from a dead run, rebuild the
              deployment from its manifest, and replay to completion.
+``serve``    run the multi-tenant query service over a workload file:
+             admission control against per-tenant envelopes, budget
+             scheduling, the keyed plan cache, and per-submission
+             exactly-once accounting; prints the dispatch ledger, the
+             service counter block, and per-tenant accounting.
+``submit``   one-shot service submission: admit, schedule, plan (or hit
+             the cache), execute one query as a named tenant and print
+             the decision, score decomposition, and budget report.
+``tenants``  replay a workload (deterministic under its seed) and print
+             only the per-tenant accounting table.
 """
 
 from __future__ import annotations
@@ -677,6 +687,241 @@ def cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+# ------------------------------------------------------------ service verbs
+
+
+def _load_workload(path: str) -> dict:
+    import json
+
+    if path == "-":
+        return json.load(sys.stdin)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read workload {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _query_source(query: str) -> str:
+    """A workload query is a catalog name or inline source text."""
+    spec = BY_NAME.get(query)
+    return spec.source if spec is not None else query
+
+
+def _service_from_workload(workload: dict, args):
+    import random as random_module
+
+    from .runtime.network import FederatedNetwork
+    from .service import QueryService, ServiceConfig, TenantPolicy
+    from .session import AnalyticsSession
+
+    devices = args.devices or workload.get("devices", 24)
+    seed = args.seed if args.seed is not None else workload.get("seed", 7)
+    categories = workload.get("categories", 8)
+    network = FederatedNetwork(devices, rng=random_module.Random(seed))
+    network.load_categorical_data(
+        categories, distribution=workload.get("distribution")
+    )
+    session = AnalyticsSession(
+        network,
+        epsilon_budget=workload.get("epsilon_budget", 10.0),
+        delta_budget=workload.get("delta_budget", 1e-6),
+        rng=random_module.Random(seed + 1),
+    )
+    tenants = [
+        TenantPolicy(
+            entry["name"],
+            entry["epsilon_budget"],
+            entry.get("delta_budget", workload.get("delta_budget", 1e-6)),
+            entry.get("weight", 1.0),
+        )
+        for entry in workload.get("tenants", [])
+    ]
+    if not tenants:
+        print("workload declares no tenants", file=sys.stderr)
+        raise SystemExit(2)
+    return QueryService(session, tenants, ServiceConfig()), categories
+
+
+def _replay_workload(service, workload: dict, categories: int, workers: int):
+    """Submit every workload query (rejections tallied), then drain."""
+    from .runtime.executor import QueryRejected
+
+    rejections = []
+    requests = []
+    for entry in workload.get("queries", []):
+        requests.append(
+            dict(
+                tenant=entry["tenant"],
+                source=_query_source(entry["query"]),
+                categories=entry.get("categories", categories),
+                epsilon=entry.get("epsilon"),
+                utility=entry.get("utility"),
+                deadline=entry.get("deadline"),
+            )
+        )
+    outcomes = service.submit_many(requests, workers=workers)
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, QueryRejected):
+            rejections.append((requests[index]["tenant"], str(outcome)))
+    service.drain()
+    return rejections
+
+
+def _print_tenant_table(rows) -> None:
+    print(
+        f"{'tenant':12s} {'ε budget':>9s} {'ε spent':>9s} {'ε left':>9s} "
+        f"{'sub':>4s} {'run':>4s} {'rej':>4s}"
+    )
+    for row in rows:
+        print(
+            f"{row['tenant']:12s} {row['epsilon_budget']:>9.3g} "
+            f"{row['spent_epsilon']:>9.3g} {row['remaining_epsilon']:>9.3g} "
+            f"{row['submitted']:>4d} {row['executed']:>4d} {row['rejected']:>4d}"
+        )
+
+
+def _service_report(service, rejections) -> dict:
+    return {
+        "records": [record.as_dict() for record in service.records],
+        "statistics": service.statistics.as_dict(),
+        "tenants": service.tenant_report(),
+        "budget": service.budget_report().as_dict(),
+        "admission_rejections": [
+            {"tenant": tenant, "error": error} for tenant, error in rejections
+        ],
+    }
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    workload = _load_workload(args.workload)
+    service, categories = _service_from_workload(workload, args)
+    rejections = _replay_workload(service, workload, categories, args.workers)
+    if args.json:
+        print(json.dumps(_service_report(service, rejections), indent=2))
+        return 0
+    print(
+        f"{'seq':>4s} {'tenant':12s} {'outcome':9s} {'cache':5s} "
+        f"{'ε':>6s} {'plan ms':>8s} {'exec ms':>8s}  value"
+    )
+    for r in service.records:
+        print(
+            f"{r.seq:>4d} {r.tenant:12s} {r.outcome:9s} "
+            f"{'hit' if r.cache_hit else 'miss':5s} {r.epsilon_charged:>6.2f} "
+            f"{r.plan_seconds * 1000:>8.2f} {r.execute_seconds * 1000:>8.2f}  "
+            f"{r.value if r.outcome == 'executed' else (r.error or '')}"
+        )
+    for tenant, error in rejections:
+        print(f"   - {tenant:12s} rejected at admission: {error}")
+    stats = service.statistics
+    print(
+        f"\nservice: {stats.submitted} submitted, {stats.admitted} admitted, "
+        f"{stats.executed} executed, "
+        f"{stats.rejected_budget} budget-rejected, "
+        f"{stats.rejected_policy} policy-rejected, "
+        f"{stats.expired_deadlines} expired"
+    )
+    print(
+        f"plan cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es), "
+        f"{stats.cache_stale_evictions} stale eviction(s); "
+        f"{stats.planner_invocations} planner search(es)"
+    )
+    print(f"ε charged: {stats.epsilon_charged:g}\n")
+    _print_tenant_table(service.tenant_report())
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .runtime.executor import QueryRejected
+
+    workload = {
+        "devices": args.devices or 24,
+        "seed": args.seed if args.seed is not None else 7,
+        "epsilon_budget": args.epsilon_budget,
+        "delta_budget": 1e-6,
+        "tenants": [
+            {
+                "name": args.tenant,
+                "epsilon_budget": args.tenant_budget or args.epsilon_budget,
+            }
+        ],
+    }
+    service, categories = _service_from_workload(workload, args)
+    source = _read_query(args)
+    try:
+        ticket = service.submit(
+            args.tenant,
+            source,
+            categories=args.categories or categories,
+            epsilon=args.epsilon,
+            utility=args.utility,
+            deadline=args.deadline,
+        )
+    except QueryRejected as exc:
+        print(f"rejected at admission ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
+    score = ticket.score
+    print(
+        f"admitted {ticket.submission.name!r}: priority {score.priority:.3f} "
+        f"(utility {score.utility:.2f}, frugality {score.frugality:.2f}, "
+        f"headroom {score.headroom:.2f})"
+    )
+    service.drain()
+    record = ticket.record(timeout=0)
+    print(
+        f"outcome: {record.outcome} "
+        f"({'cache hit' if record.cache_hit else 'planned'}, "
+        f"plan {record.plan_seconds * 1000:.1f} ms, "
+        f"execute {record.execute_seconds * 1000:.1f} ms)"
+    )
+    if record.outcome == "executed":
+        print(f"value: {record.value!r}")
+        print(f"ε charged: {record.epsilon_charged:g}")
+    elif record.error:
+        print(f"error: {record.error}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(service.budget_report().as_dict(), indent=2))
+    else:
+        report = service.budget_report()
+        print(
+            f"budget: ε {report.spent_epsilon:g} spent / "
+            f"{report.remaining_epsilon:g} remaining"
+        )
+    return 0 if record.outcome == "executed" else 1
+
+
+def cmd_tenants(args) -> int:
+    import json
+
+    workload = _load_workload(args.workload)
+    service, categories = _service_from_workload(workload, args)
+    rejections = _replay_workload(service, workload, categories, args.workers)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tenants": service.tenant_report(),
+                    "budget": service.budget_report().as_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    _print_tenant_table(service.tenant_report())
+    report = service.budget_report()
+    print(
+        f"\nglobal: ε {report.spent_epsilon:g} spent of "
+        f"{report.epsilon_budget:g} "
+        f"({len(rejections)} admission rejection(s))"
+    )
+    return 0
+
+
 def cmd_queries(_args) -> int:
     print(f"{'name':12s} {'action':28s} {'from':8s} {'lines':>5s}")
     for spec in ALL_QUERIES:
@@ -911,6 +1156,82 @@ def build_parser() -> argparse.ArgumentParser:
         "each resumed run is digest-identical to the uninterrupted one",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query service over a workload file",
+    )
+    serve.add_argument(
+        "workload",
+        help="workload JSON (tenants + queries; see docs/ARCHITECTURE.md "
+        "§16) or '-' for stdin",
+    )
+    serve.add_argument(
+        "--devices", type=int, default=None,
+        help="override the workload's simulated device count",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the workload's deployment seed (replay is "
+        "deterministic per seed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="front-end submission threads (admission is thread-safe; "
+        "1 keeps the admission order deterministic too)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the dispatch ledger, counters, and per-tenant "
+        "accounting as JSON",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one query to a fresh single-tenant service",
+    )
+    submit.add_argument(
+        "query_file", help="query file, built-in query name, or '-' for stdin"
+    )
+    submit.add_argument("--tenant", default="analyst")
+    submit.add_argument("--devices", type=int, default=24)
+    submit.add_argument("--categories", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument(
+        "--epsilon", type=float, default=None,
+        help="requested ε for this query (default: the session's "
+        "per-query ε)",
+    )
+    submit.add_argument("--epsilon-budget", type=float, default=10.0)
+    submit.add_argument(
+        "--tenant-budget", type=float, default=None,
+        help="tenant envelope ε (default: the global budget)",
+    )
+    submit.add_argument(
+        "--utility", type=float, default=None,
+        help="analyst utility hint in [0, 1]",
+    )
+    submit.add_argument(
+        "--deadline", type=int, default=None,
+        help="logical-clock deadline tick",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="also print the budget report as JSON",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="replay a workload and print per-tenant budget accounting",
+    )
+    tenants.add_argument("workload", help="workload JSON or '-' for stdin")
+    tenants.add_argument("--devices", type=int, default=None)
+    tenants.add_argument("--seed", type=int, default=None)
+    tenants.add_argument("--workers", type=int, default=1)
+    tenants.add_argument("--json", action="store_true")
+    tenants.set_defaults(func=cmd_tenants)
 
     evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")
     evaluate.add_argument(

@@ -11,6 +11,7 @@ paper's certificate mechanism needs — it carries a single scalar balance.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -41,39 +42,62 @@ class PrivacyAccountant:
     ``charge`` is atomic: it either debits the full cost or raises
     BudgetExceeded and leaves the balance untouched, so a rejected query
     consumes nothing (the committee simply refuses to sign the certificate).
+
+    All mutating entry points (and the check-then-debit sequence inside
+    them) hold an internal re-entrant lock, so one accountant can back a
+    multi-threaded serving layer: concurrent ``charge_once`` calls for the
+    same label debit exactly once, and concurrent charges for distinct
+    labels never interleave a stale ``can_afford`` check with the debit.
     """
 
     epsilon_budget: float
     delta_budget: float = 0.0
     spent: PrivacyCost = field(default_factory=lambda: PrivacyCost(0.0, 0.0))
     history: List[Tuple[str, PrivacyCost]] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def remaining(self) -> PrivacyCost:
-        return PrivacyCost(
-            max(0.0, self.epsilon_budget - self.spent.epsilon),
-            max(0.0, self.delta_budget - self.spent.delta),
-        )
+        with self._lock:
+            return PrivacyCost(
+                max(0.0, self.epsilon_budget - self.spent.epsilon),
+                max(0.0, self.delta_budget - self.spent.delta),
+            )
 
     def can_afford(self, cost: PrivacyCost) -> bool:
-        total = self.spent + cost
-        return (
-            total.epsilon <= self.epsilon_budget + 1e-12
-            and total.delta <= self.delta_budget + 1e-15
-        )
+        with self._lock:
+            total = self.spent + cost
+            return (
+                total.epsilon <= self.epsilon_budget + 1e-12
+                and total.delta <= self.delta_budget + 1e-15
+            )
 
     def charge(self, cost: PrivacyCost, label: str = "query") -> None:
-        if not self.can_afford(cost):
-            remaining = self.remaining()
-            raise BudgetExceeded(
-                f"query {label!r} needs (ε={cost.epsilon:g}, δ={cost.delta:g}) "
-                f"but only (ε={remaining.epsilon:g}, δ={remaining.delta:g}) remains"
-            )
-        self.spent = self.spent + cost
-        self.history.append((label, cost))
+        with self._lock:
+            if not self.can_afford(cost):
+                remaining = self.remaining()
+                raise BudgetExceeded(
+                    f"query {label!r} needs (ε={cost.epsilon:g}, δ={cost.delta:g}) "
+                    f"but only (ε={remaining.epsilon:g}, δ={remaining.delta:g}) remains"
+                )
+            self.spent = self.spent + cost
+            self.history.append((label, cost))
+
+    def snapshot(self) -> Tuple[PrivacyCost, PrivacyCost, List[Tuple[str, PrivacyCost]]]:
+        """A consistent (spent, remaining, ledger-copy) triple.
+
+        Taken under the lock so a concurrent charge cannot leave the
+        three views describing different moments — the service layer's
+        budget reports are built from this.
+        """
+        with self._lock:
+            return self.spent, self.remaining(), list(self.history)
 
     def charged(self, label: str) -> bool:
         """Whether some charge was already debited under ``label``."""
-        return any(entry == label for entry, _ in self.history)
+        with self._lock:
+            return any(entry == label for entry, _ in self.history)
 
     def charge_once(self, cost: PrivacyCost, label: str) -> bool:
         """Debit ``cost`` unless ``label`` was already charged.
@@ -83,9 +107,12 @@ class PrivacyAccountant:
         be debited exactly once per label no matter how many incarnations
         pass through it. Returns True if the debit happened now, False if
         the label had already paid. Atomicity matches ``charge``: on
-        BudgetExceeded nothing is debited.
+        BudgetExceeded nothing is debited. The check-and-debit pair holds
+        the accountant lock, so racing incarnations (or service worker
+        threads) cannot both observe the label unpaid.
         """
-        if self.charged(label):
-            return False
-        self.charge(cost, label)
-        return True
+        with self._lock:
+            if self.charged(label):
+                return False
+            self.charge(cost, label)
+            return True

@@ -128,6 +128,16 @@ class QueryRejected(Exception):
     """Raised when the keygen committee refuses the query (budget)."""
 
 
+class BudgetExhausted(QueryRejected):
+    """The refusal was a privacy-budget shortfall specifically.
+
+    A subclass so existing ``except QueryRejected`` sites keep working;
+    the service layer and :meth:`AnalyticsSession.ask` raise/propagate
+    this typed form so callers can distinguish "the budget is gone" from
+    other admission failures without string-matching the message.
+    """
+
+
 class ExecutionError(Exception):
     """Raised when the protocol cannot complete."""
 
@@ -236,6 +246,7 @@ class QueryExecutor:
         shard_size: int = 1024,
         shard_workers: int = 0,
         tree_fanout: int = 16,
+        charge_label: Optional[str] = None,
     ):
         if data_plane not in ("vectorized", "legacy", "sharded"):
             raise ValueError(
@@ -263,6 +274,13 @@ class QueryExecutor:
         self._select_choice = self._find_choice("select_max")
         self._input_choice = self._find_choice("input")
         self._budget_charged = False
+        #: Label the budget debit is keyed by. Defaults to the query name;
+        #: the multi-tenant service overrides it per submission so a plan
+        #: served from the keyed cache (whose logical plan keeps the
+        #: original query name) still charges exactly once per submission.
+        self.charge_label = (
+            charge_label if charge_label is not None else self.logical.query_name
+        )
         self._held_secrets: List[_HeldSecrets] = []
         self._keygen_committee: Optional[Committee] = None
         self._key_shares: Optional[Dict[str, List[SecretValue]]] = None
@@ -764,7 +782,7 @@ class QueryExecutor:
         # journaled (write-ahead, keyed by label) so a coordinator crash
         # between charging and finishing cannot double-bill either.
         if self.accountant is not None and not self._budget_charged:
-            label = self.logical.query_name
+            label = self.charge_label
             cost = PrivacyCost(
                 self.planning.certificate.epsilon, self.planning.certificate.delta
             )
@@ -778,7 +796,7 @@ class QueryExecutor:
                 self._budget_charged = True
             else:
                 if not self.accountant.can_afford(cost):
-                    raise QueryRejected(
+                    raise BudgetExhausted(
                         f"privacy budget exhausted for {label!r}"
                     )
                 if self.journal is not None:

@@ -1,0 +1,46 @@
+"""Multi-tenant query service: admission, scheduling, plan caching.
+
+The serving layer over one deployment — many analysts, one device
+population, one global ε. See ``service.py`` for the submission
+lifecycle (admit → schedule → cache → execute) and ARCHITECTURE.md §16
+for the design, including the scheduler's starvation-freedom argument.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    AdmissionScore,
+    Submission,
+)
+from .cache import CacheStatistics, PlanCache
+from .scheduler import BudgetScheduler, SchedulerPolicy
+from .service import (
+    QueryService,
+    ServiceConfig,
+    ServiceRecord,
+    ServiceStatistics,
+    SubmissionTicket,
+)
+from .tenants import TenantAccount, TenantPolicy, TenantRegistry, UnknownTenant
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "AdmissionScore",
+    "BudgetScheduler",
+    "CacheStatistics",
+    "PlanCache",
+    "QueryService",
+    "SchedulerPolicy",
+    "ServiceConfig",
+    "ServiceRecord",
+    "ServiceStatistics",
+    "Submission",
+    "SubmissionTicket",
+    "TenantAccount",
+    "TenantPolicy",
+    "TenantRegistry",
+    "UnknownTenant",
+]

@@ -16,8 +16,8 @@ call per query.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .analysis.types import QueryEnvironment
 from .planner.costmodel import Constraints, CostModel, Goal
@@ -35,6 +35,80 @@ class SessionRecord:
     epsilon: float
     planning: PlanningResult
     result: Optional[QueryResult]
+
+
+@dataclass(frozen=True)
+class BudgetLine:
+    """One source's (label's) total debits in a budget report."""
+
+    label: str
+    epsilon: float
+    delta: float
+    charges: int
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Structured per-source budget accounting for a session.
+
+    ``by_label`` aggregates the accountant's ledger per charge label
+    (one label per query, or per service submission), in first-charge
+    order, so the service layer and the CLI can render per-tenant /
+    per-query breakdowns without re-walking the raw history.
+    """
+
+    epsilon_budget: float
+    delta_budget: float
+    spent_epsilon: float
+    spent_delta: float
+    remaining_epsilon: float
+    remaining_delta: float
+    by_label: Tuple[BudgetLine, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "epsilon_budget": self.epsilon_budget,
+            "delta_budget": self.delta_budget,
+            "spent_epsilon": self.spent_epsilon,
+            "spent_delta": self.spent_delta,
+            "remaining_epsilon": self.remaining_epsilon,
+            "remaining_delta": self.remaining_delta,
+            "by_label": [
+                {
+                    "label": line.label,
+                    "epsilon": line.epsilon,
+                    "delta": line.delta,
+                    "charges": line.charges,
+                }
+                for line in self.by_label
+            ],
+        }
+
+
+def budget_report_for(accountant: PrivacyAccountant) -> BudgetReport:
+    """Aggregate an accountant's ledger into a :class:`BudgetReport`."""
+    spent, remaining, history = accountant.snapshot()
+    totals: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for label, cost in history:
+        if label not in totals:
+            totals[label] = [0.0, 0.0, 0]
+            order.append(label)
+        totals[label][0] += cost.epsilon
+        totals[label][1] += cost.delta
+        totals[label][2] += 1
+    return BudgetReport(
+        epsilon_budget=accountant.epsilon_budget,
+        delta_budget=accountant.delta_budget,
+        spent_epsilon=spent.epsilon,
+        spent_delta=spent.delta,
+        remaining_epsilon=remaining.epsilon,
+        remaining_delta=remaining.delta,
+        by_label=tuple(
+            BudgetLine(label, *totals[label][:2], charges=int(totals[label][2]))
+            for label in order
+        ),
+    )
 
 
 class AnalyticsSession:
@@ -110,6 +184,28 @@ class AnalyticsSession:
             )
         return self._planners[key]
 
+    def environment(
+        self,
+        categories: int,
+        epsilon: Optional[float] = None,
+        sensitivity: Optional[float] = None,
+        row_encoding: str = "one_hot",
+        value_range: Optional[tuple] = None,
+    ) -> QueryEnvironment:
+        """The planning environment this session would use for a query.
+
+        Public so layers above the session (the multi-tenant service's
+        plan-cache fingerprinting) can see exactly the environment that
+        planning will run against.
+        """
+        return self._environment(
+            categories, epsilon, sensitivity, row_encoding, value_range
+        )
+
+    def planner(self, env: QueryEnvironment) -> Planner:
+        """The (memoized) planner for ``env`` — same instance ``plan`` uses."""
+        return self._planner(env)
+
     def plan(
         self,
         source: str,
@@ -140,15 +236,48 @@ class AnalyticsSession:
     ) -> QueryResult:
         """Plan, budget-check, and execute one query.
 
-        Raises :class:`repro.runtime.executor.QueryRejected` when the
-        key-generation committee refuses (budget exhausted); a refused
-        query spends nothing and is recorded with ``result=None``.
+        Raises :class:`repro.runtime.executor.BudgetExhausted` (a
+        :class:`~repro.runtime.executor.QueryRejected` subclass) when the
+        accountant declines the query's certified cost; a refused query
+        spends nothing and is recorded with ``result=None``.
         """
-        from .runtime.executor import QueryRejected
+        from .privacy.accountant import PrivacyCost
+        from .runtime.executor import BudgetExhausted
 
         planning = self.plan(
             source, categories, name, epsilon, sensitivity, row_encoding, value_range
         )
+        cost = PrivacyCost(planning.certificate.epsilon, planning.certificate.delta)
+        if not self.accountant.can_afford(cost):
+            # Refuse before any committee work, with the typed error the
+            # service layer's admission controller distinguishes on.
+            self.history.append(
+                SessionRecord(name, planning.certificate.epsilon, planning, None)
+            )
+            remaining = self.accountant.remaining()
+            raise BudgetExhausted(
+                f"query {name!r} needs ε={cost.epsilon:g} but only "
+                f"ε={remaining.epsilon:g} of the session budget remains"
+            )
+        return self.execute_planning(planning, name)
+
+    def execute_planning(
+        self,
+        planning: PlanningResult,
+        name: str = "query",
+        charge_label: Optional[str] = None,
+    ) -> QueryResult:
+        """Execute an already-planned query against this deployment.
+
+        The budget is charged by the executor under ``charge_label``
+        (default: ``name``) via the exactly-once ``charge_once`` path.
+        This is the entry point the multi-tenant service uses for plans
+        served from its keyed cache — the planning result may have been
+        produced for an earlier submission, so the charge label must come
+        from the submission, not from the plan.
+        """
+        from .runtime.executor import QueryRejected
+
         executor = QueryExecutor(
             self.network,
             planning,
@@ -156,6 +285,7 @@ class AnalyticsSession:
             key_prime_bits=self.key_prime_bits,
             rng=self.rng,
             accountant=self.accountant,
+            charge_label=charge_label if charge_label is not None else name,
         )
         try:
             result = executor.run()
@@ -176,6 +306,10 @@ class AnalyticsSession:
 
     def spent_epsilon(self) -> float:
         return self.accountant.spent.epsilon
+
+    def budget_report(self) -> BudgetReport:
+        """Structured per-source remaining/spent epsilon for this session."""
+        return budget_report_for(self.accountant)
 
     def can_afford(self, source: str, categories: int, **kwargs) -> bool:
         """Would the keygen committee authorize this query right now?"""

@@ -122,3 +122,98 @@ class TestExplain:
         assert "compute/inst" in out
         assert "keygen" in out
         assert "% of devices serve" in out
+
+
+SERVICE_WORKLOAD = {
+    "devices": 24,
+    "seed": 7,
+    "categories": 8,
+    "distribution": [25, 1, 1, 1, 1, 1, 1, 1],
+    "epsilon_budget": 10.0,
+    "tenants": [
+        {"name": "alice", "epsilon_budget": 6.0},
+        {"name": "bob", "epsilon_budget": 4.0},
+    ],
+    "queries": [
+        {
+            "tenant": "alice",
+            "query": "aggr = sum(db); output(laplace(aggr[0], sens / epsilon));",
+            "epsilon": 1.0,
+        },
+        {
+            "tenant": "bob",
+            "query": "aggr = sum(db); output(laplace(aggr[0], sens / epsilon));",
+            "epsilon": 1.0,
+        },
+    ],
+}
+
+
+class TestServiceCommands:
+    def write_workload(self, tmp_path):
+        import json
+
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(SERVICE_WORKLOAD))
+        return str(path)
+
+    def test_serve_replays_workload(self, tmp_path, capsys):
+        assert main(["serve", self.write_workload(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 submitted" in out
+        assert "2 executed" in out
+        assert "plan cache:" in out
+        assert "alice" in out and "bob" in out
+
+    def test_serve_json_report(self, tmp_path, capsys):
+        import json
+
+        assert main(["serve", self.write_workload(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["statistics"]["executed"] == 2
+        assert report["budget"]["spent_epsilon"] == pytest.approx(2.0)
+        assert {row["tenant"] for row in report["tenants"]} == {"alice", "bob"}
+
+    def test_tenants_table(self, tmp_path, capsys):
+        assert main(["tenants", self.write_workload(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out and "ε spent" in out
+        assert "global: ε 2 spent of 10" in out
+
+    def test_submit_one_query(self, tmp_path, capsys):
+        query = tmp_path / "q.arb"
+        query.write_text(
+            "aggr = sum(db); output(laplace(aggr[0], sens / epsilon));"
+        )
+        code = main(
+            [
+                "submit", str(query),
+                "--tenant", "alice",
+                "--categories", "8",
+                "--epsilon", "1.0",
+                "--epsilon-budget", "5.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted 'alice/0001'" in out
+        assert "outcome: executed" in out
+        assert "ε charged: 1" in out
+
+    def test_submit_over_budget_is_typed_rejection(self, tmp_path, capsys):
+        query = tmp_path / "q.arb"
+        query.write_text(
+            "aggr = sum(db); output(laplace(aggr[0], sens / epsilon));"
+        )
+        code = main(
+            [
+                "submit", str(query),
+                "--tenant", "alice",
+                "--categories", "8",
+                "--epsilon", "6.0",
+                "--epsilon-budget", "5.0",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "BudgetExhausted" in err
