@@ -21,7 +21,12 @@ Times the hot execution path at three granularities and writes
 * **sharded scale** — the sharded plane alone from 16k to 10^6 simulated
   devices (the flat planes stop being practical around 4096);
 * **tree-depth sweep** — one population, several aggregation-tree
-  fanouts, to show depth is a topology knob, not a cost cliff.
+  fanouts, to show depth is a topology knob, not a cost cliff;
+* **crypto backends** — the pluggable kernel backends (``pure`` vs
+  ``accel``) on the bigint hot paths (batched Paillier pad modexp, batch
+  modular inversion) plus one end-to-end run each, with byte-identity
+  asserted inline so a backend can never buy speed with different bits
+  (``tests/test_backend_equivalence.py`` is the full differential suite).
 
 Protocol: every configuration gets one untimed warmup, then ``--reps``
 timed runs, reporting the median (the scale series runs once, unwarmed —
@@ -56,7 +61,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.crypto import bgv, shamir  # noqa: E402
+from repro.crypto import bgv, paillier, shamir  # noqa: E402
+from repro.crypto.backend import (  # noqa: E402
+    active_backend_name,
+    gmpy2_available,
+    numba_available,
+    use_backend,
+)
 from repro.crypto.field import MERSENNE_127, PrimeField  # noqa: E402
 from repro.analysis.ranges import Interval  # noqa: E402
 from repro.analysis.types import QueryEnvironment, ValueType  # noqa: E402
@@ -76,6 +87,12 @@ E2E_TREE_FANOUT = 4
 CATEGORIES = 8
 KEY_PRIME_BITS = 128
 SEED = 11
+BACKEND_NAMES = ("pure", "accel")
+BACKEND_PAD_BATCH = 128
+BACKEND_INV_BATCH = 256
+BACKEND_E2E_DEVICES = 256
+BACKEND_SMOKE_PAD_BATCH = 32
+BACKEND_SMOKE_E2E_DEVICES = 64
 
 
 # --------------------------------------------------------------- microbench
@@ -149,6 +166,97 @@ def bench_share_vector(reps: int) -> dict:
         "legacy_shares_per_second": legacy,
         "vectorized_shares_per_second": vector,
         "speedup": vector / legacy,
+    }
+
+
+def bench_crypto_backends(
+    reps: int,
+    pad_batch: int = BACKEND_PAD_BATCH,
+    e2e_devices: int = BACKEND_E2E_DEVICES,
+) -> dict:
+    """Per-backend series over the bigint hot kernels plus one e2e run.
+
+    Byte-identity is asserted inline: every backend's pads, inverses, and
+    ``QueryResult`` must equal the pure oracle's, so a kernel that drifts
+    cannot publish a benchmark number.
+    """
+    sk = paillier.keygen(KEY_PRIME_BITS, random.Random(SEED))
+    pk = sk.public
+    draw_rng = random.Random(SEED + 1)
+    obfuscators = [
+        paillier.draw_obfuscator(pk, draw_rng) for _ in range(pad_batch)
+    ]
+    field = PrimeField(MERSENNE_127)
+    inv_rng = random.Random(SEED + 2)
+    inv_values = [
+        inv_rng.randrange(1, field.modulus) for _ in range(BACKEND_INV_BATCH)
+    ]
+
+    rows = []
+    oracle = {}
+    for name in BACKEND_NAMES:
+        with use_backend(name) as backend:
+            pad_samples, inv_samples, e2e_samples = [], [], []
+            pads = inverses = result = None
+            for rep in range(reps + 1):  # rep 0 is the untimed warmup
+                started = time.perf_counter()
+                pads = paillier.precompute_pads(pk, obfuscators)
+                if rep:
+                    pad_samples.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                inverses = backend.batch_invmod(inv_values, field.modulus)
+                if rep:
+                    inv_samples.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                _, result = _run_query(e2e_devices, "sharded")
+                if rep:
+                    e2e_samples.append(time.perf_counter() - started)
+            if name == "pure":
+                oracle = {"pads": pads, "inverses": inverses, "result": result}
+            elif (
+                pads != oracle["pads"]
+                or inverses != oracle["inverses"]
+                or result != oracle["result"]
+            ):
+                raise SystemExit(
+                    f"backend {name!r} diverged from the pure oracle — run "
+                    "tests/test_backend_equivalence.py"
+                )
+            rows.append(
+                {
+                    "backend": name,
+                    "detail": backend.detail,
+                    "pad_batch": pad_batch,
+                    "modexp_ops_per_second": (
+                        pad_batch / statistics.median(pad_samples)
+                    ),
+                    "batch_invmod_ops_per_second": (
+                        BACKEND_INV_BATCH / statistics.median(inv_samples)
+                    ),
+                    "e2e_devices": e2e_devices,
+                    "e2e_seconds": statistics.median(e2e_samples),
+                }
+            )
+    pure = rows[0]
+    for row in rows:
+        row["modexp_speedup_vs_pure"] = (
+            row["modexp_ops_per_second"] / pure["modexp_ops_per_second"]
+        )
+        row["e2e_speedup_vs_pure"] = pure["e2e_seconds"] / row["e2e_seconds"]
+        print(
+            f"backend {row['backend']:5s}  "
+            f"modexp {row['modexp_ops_per_second']:9.0f} ops/s "
+            f"({row['modexp_speedup_vs_pure']:5.2f}x)  "
+            f"batch-inv {row['batch_invmod_ops_per_second']:9.0f} ops/s  "
+            f"e2e {row['e2e_seconds']:6.2f} s "
+            f"({row['e2e_speedup_vs_pure']:5.2f}x)  [{row['detail']}]"
+        )
+    return {
+        "active": active_backend_name(),
+        "gmpy2": gmpy2_available(),
+        "numba": numba_available(),
+        "key_prime_bits": KEY_PRIME_BITS,
+        "series": rows,
     }
 
 
@@ -344,6 +452,19 @@ SCALE_ROW_KEYS = frozenset(
 SWEEP_ROW_KEYS = frozenset(
     {"devices", "tree_fanout", "tree_depth", "shards", "sharded_seconds"}
 )
+BACKEND_ROW_KEYS = frozenset(
+    {
+        "backend",
+        "detail",
+        "pad_batch",
+        "modexp_ops_per_second",
+        "batch_invmod_ops_per_second",
+        "e2e_devices",
+        "e2e_seconds",
+        "modexp_speedup_vs_pure",
+        "e2e_speedup_vs_pure",
+    }
+)
 
 
 def check_schema(payload: dict) -> list:
@@ -371,6 +492,28 @@ def check_schema(payload: dict) -> list:
     scale = payload.get("sharded_scale") or []
     if scale and max(row.get("devices", 0) for row in scale) < 10**6:
         problems.append("sharded_scale series no longer reaches 10^6 devices")
+    backends = payload.get("crypto_backends")
+    if not isinstance(backends, dict):
+        problems.append("missing section 'crypto_backends'")
+    else:
+        series = backends.get("series")
+        if not isinstance(series, list) or not series:
+            problems.append("section 'crypto_backends' has no series")
+        else:
+            names = set()
+            for row in series:
+                names.add(row.get("backend"))
+                missing = BACKEND_ROW_KEYS - set(row)
+                if missing:
+                    problems.append(
+                        f"crypto_backends row for {row.get('backend')!r} is "
+                        f"missing {sorted(missing)}"
+                    )
+            absent = set(BACKEND_NAMES) - names
+            if absent:
+                problems.append(
+                    f"crypto_backends series lacks backends {sorted(absent)}"
+                )
     return problems
 
 
@@ -404,6 +547,21 @@ def smoke(baseline_path: Path) -> int:
             f"({largest['sharded_seconds']:.2f} s) is slower than the "
             f"vectorized plane ({largest['vectorized_seconds']:.2f} s)"
         )
+    backends = bench_crypto_backends(
+        reps=1,
+        pad_batch=BACKEND_SMOKE_PAD_BATCH,
+        e2e_devices=BACKEND_SMOKE_E2E_DEVICES,
+    )
+    if gmpy2_available():
+        accel = next(
+            row for row in backends["series"] if row["backend"] == "accel"
+        )
+        if accel["modexp_speedup_vs_pure"] < 3.0:
+            failures.append(
+                "gmpy2 is installed but the accel backend's batched Paillier "
+                f"modexp is only {accel['modexp_speedup_vs_pure']:.2f}x the "
+                "pure oracle (>= 3x required)"
+            )
     if failures:
         print("runtime benchmark regression:")
         for failure in failures:
@@ -411,7 +569,8 @@ def smoke(baseline_path: Path) -> int:
         return 1
     print(
         "runtime smoke benchmark: schema ok, within 2x of committed "
-        "baseline, sharded plane no slower than vectorized"
+        "baseline, sharded plane no slower than vectorized, backends "
+        "byte-identical"
     )
     return 0
 
@@ -428,9 +587,30 @@ def main() -> int:
         help="small device counts, 1 rep; fail if the vectorized plane "
         "regressed >2x vs the --out baseline",
     )
+    parser.add_argument(
+        "--backends", action="store_true",
+        help="run only the per-backend crypto series and merge it into the "
+        "existing --out JSON (the other series are kept as committed)",
+    )
     args = parser.parse_args()
     if args.smoke:
         return smoke(Path(args.out))
+    if args.backends:
+        out = Path(args.out)
+        if not out.exists():
+            print(f"no baseline at {out}; run the full benchmark first")
+            return 1
+        payload = json.loads(out.read_text())
+        payload["crypto_backends"] = bench_crypto_backends(args.reps)
+        problems = check_schema(payload)
+        if problems:
+            print("merged payload fails the schema check:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"crypto_backends series refreshed -> {out}")
+        return 0
     micro = {
         "bgv_add": bench_bgv_add(args.reps),
         "share_vector": bench_share_vector(args.reps),
@@ -443,6 +623,7 @@ def main() -> int:
         f"share_vector     {micro['share_vector']['speedup']:6.1f}x  "
         f"({micro['share_vector']['vectorized_shares_per_second']:.3g} shares/s)"
     )
+    backend_rows = bench_crypto_backends(args.reps)
     rows = bench_e2e(DEVICE_COUNTS, args.reps)
     scale_rows = bench_sharded_scale(SCALE_COUNTS)
     sweep_rows = bench_tree_depth(TREE_SWEEP_DEVICES, TREE_SWEEP_FANOUTS)
@@ -454,6 +635,7 @@ def main() -> int:
         "categories": CATEGORIES,
         "query": TOP1,
         "microbenchmarks": micro,
+        "crypto_backends": backend_rows,
         "end_to_end": rows,
         "sharded_scale": scale_rows,
         "tree_depth_sweep": sweep_rows,

@@ -41,6 +41,9 @@ Commands
              the decision, score decomposition, and budget report.
 ``tenants``  replay a workload (deterministic under its seed) and print
              only the per-tenant accounting table.
+``backends`` list the pluggable crypto kernel backends (pure oracle vs
+             gmpy2/numba accelerated), which one is active, why it was
+             selected, and how to override (``REPRO_CRYPTO_BACKEND``).
 """
 
 from __future__ import annotations
@@ -783,7 +786,10 @@ def _print_tenant_table(rows) -> None:
 
 
 def _service_report(service, rejections) -> dict:
+    from .crypto.backend import active_backend_name
+
     return {
+        "crypto_backend": active_backend_name(),
         "records": [record.as_dict() for record in service.records],
         "statistics": service.statistics.as_dict(),
         "tenants": service.tenant_report(),
@@ -829,7 +835,10 @@ def cmd_serve(args) -> int:
         f"{stats.cache_stale_evictions} stale eviction(s); "
         f"{stats.planner_invocations} planner search(es)"
     )
-    print(f"ε charged: {stats.epsilon_charged:g}\n")
+    from .crypto.backend import active_backend_name, selection_reason
+
+    print(f"ε charged: {stats.epsilon_charged:g}")
+    print(f"crypto backend: {active_backend_name()} ({selection_reason()})\n")
     _print_tenant_table(service.tenant_report())
     return 0
 
@@ -918,6 +927,33 @@ def cmd_tenants(args) -> int:
         f"\nglobal: ε {report.spent_epsilon:g} spent of "
         f"{report.epsilon_budget:g} "
         f"({len(rejections)} admission rejection(s))"
+    )
+    return 0
+
+
+def cmd_backends(args) -> int:
+    import json
+
+    from .crypto import backend as crypto_backend
+
+    rows = crypto_backend.describe_backends()
+    if args.json:
+        print(json.dumps({"backends": rows, "env_var": crypto_backend.BACKEND_ENV_VAR}, indent=2))
+        return 0
+    print(f"{'backend':8s} {'available':9s} {'active':6s}  detail")
+    for row in rows:
+        print(
+            f"{row['backend']:8s} {'yes' if row['available'] else 'no':9s} "
+            f"{'*' if row['selected'] else '':6s}  {row['detail']}"
+        )
+        if row["selected"]:
+            print(f"{'':26s} selected: {row['selection_reason']}")
+        elif row["unavailable_reason"]:
+            print(f"{'':26s} unavailable: {row['unavailable_reason']}")
+    print(
+        f"\noverride with {crypto_backend.BACKEND_ENV_VAR}="
+        f"{{pure,accel}} (accel is bit-identical to the pure oracle; "
+        "see tests/test_backend_equivalence.py)"
     )
     return 0
 
@@ -1232,6 +1268,16 @@ def build_parser() -> argparse.ArgumentParser:
     tenants.add_argument("--workers", type=int, default=1)
     tenants.add_argument("--json", action="store_true")
     tenants.set_defaults(func=cmd_tenants)
+
+    backends = sub.add_parser(
+        "backends",
+        help="list crypto kernel backends, availability, and selection",
+    )
+    backends.add_argument(
+        "--json", action="store_true",
+        help="emit the availability/selection table as JSON",
+    )
+    backends.set_defaults(func=cmd_backends)
 
     evaluate = sub.add_parser("eval", help="regenerate an evaluation artifact")
     evaluate.add_argument(

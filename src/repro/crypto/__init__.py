@@ -5,6 +5,7 @@ See DESIGN.md for the substitution table mapping each module to the
 primitive the paper's C++ prototype used.
 """
 
+from .backend import active_backend_name, get_backend, use_backend
 from .field import DEFAULT_FIELD, PrimeField
 from .merkle import MerkleTree, verify_inclusion
 from .shamir import Share, reconstruct_secret, share_secret
@@ -17,4 +18,7 @@ __all__ = [
     "Share",
     "share_secret",
     "reconstruct_secret",
+    "active_backend_name",
+    "get_backend",
+    "use_backend",
 ]

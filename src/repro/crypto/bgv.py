@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from .backend import get_backend
 
 # Security-standard table (ciphertext-modulus bits -> minimum log2(ring
 # degree) for >=128-bit security), coarsened from the HE standard [6].
@@ -72,7 +74,15 @@ def min_ring_degree_log2(ciphertext_modulus_bits: int) -> int:
 
 
 def _fast_path(plaintext_modulus: int) -> bool:
-    """True when one slot product (t-1)^2 fits a signed 64-bit word."""
+    """True when one slot product (t-1)^2 fits a signed 64-bit word.
+
+    Measured bound: ``isqrt(2^63 - 1) = 3_037_000_499``, so the int64
+    layout is exact iff ``t - 1 <= 3_037_000_499`` (t <= 3_037_000_500);
+    at ``t = 3_037_000_501`` the worst-case slot product
+    ``(t-1)^2 = 2^63 + 2_116_348_418_279_907_396`` overflows and the
+    object-dtype fallback takes over. The paper-typical ``t = 2^30``
+    sits comfortably inside the fast path.
+    """
     return (plaintext_modulus - 1) * (plaintext_modulus - 1) <= _INT64_MAX
 
 
@@ -129,7 +139,7 @@ class BGVParams:
     def public_key_bytes(self) -> int:
         return self.ciphertext_bytes
 
-    def for_depth(self, depth: int, plaintext_modulus: int = None) -> "BGVParams":
+    def for_depth(self, depth: int, plaintext_modulus: Optional[int] = None) -> "BGVParams":
         """Return the smallest standard parameter set supporting ``depth``.
 
         The planner calls this after range inference (§4.4) to pick the
@@ -189,7 +199,7 @@ class NoiseBudgetExceeded(Exception):
     """Raised when an operation chain exceeds the parameter set's depth."""
 
 
-def keygen(params: BGVParams, rng: random.Random = None) -> BGVPrivateKey:
+def keygen(params: BGVParams, rng: Optional[random.Random] = None) -> BGVPrivateKey:
     """Generate a keypair for the given parameter set."""
     rng = rng or random.Random()
     return BGVPrivateKey(BGVPublicKey(params, rng.getrandbits(63)))
@@ -255,14 +265,14 @@ def add(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     """Slot-wise homomorphic addition; noise grows negligibly."""
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = (a.slots + b.slots) % t
+    slots = get_backend().slot_add(a.slots, b.slots, t)
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
 
 
 def sub(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = (a.slots - b.slots) % t
+    slots = get_backend().slot_sub(a.slots, b.slots, t)
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level))
 
 
@@ -270,14 +280,14 @@ def multiply(a: BGVCiphertext, b: BGVCiphertext) -> BGVCiphertext:
     """Slot-wise homomorphic multiplication; consumes one level."""
     _check_compatible(a, b)
     t = a.params.plaintext_modulus
-    slots = (a.slots * b.slots) % t
+    slots = get_backend().slot_mul(a.slots, b.slots, t)
     return BGVCiphertext(slots, a.key_id, a.params, max(a.level, b.level) + 1)
 
 
 def add_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
     t = ct.params.plaintext_modulus
     padded = _pad(values, ct.params)
-    slots = (ct.slots + padded) % t
+    slots = get_backend().slot_add(ct.slots, padded, t)
     return BGVCiphertext(slots, ct.key_id, ct.params, ct.level)
 
 
@@ -285,7 +295,7 @@ def multiply_plain(ct: BGVCiphertext, values: Sequence[int]) -> BGVCiphertext:
     """Plaintext multiplication; cheaper noise-wise than ct-ct multiply."""
     t = ct.params.plaintext_modulus
     padded = _pad(values, ct.params)
-    slots = (ct.slots * padded) % t
+    slots = get_backend().slot_mul(ct.slots, padded, t)
     return BGVCiphertext(slots, ct.key_id, ct.params, ct.level + 1)
 
 
@@ -306,8 +316,9 @@ def sum_ciphertexts(cts: Sequence[BGVCiphertext]) -> BGVCiphertext:
 
     Equivalent to folding :func:`add` left-to-right (field addition is
     associative and every partial result is reduced mod t), but performed
-    as a single ``np.sum`` over the stacked slot matrix. On the int64 fast
-    path the reduction is chunked so no partial sum can exceed 2^63.
+    as one stacked column reduction in the crypto backend. On the int64
+    fast path the backend chunks the reduction so no partial sum can
+    exceed 2^63.
     """
     if not cts:
         raise ValueError("cannot sum zero ciphertexts")
@@ -317,15 +328,7 @@ def sum_ciphertexts(cts: Sequence[BGVCiphertext]) -> BGVCiphertext:
     t = first.params.plaintext_modulus
     level = max(ct.level for ct in cts)
     stack = np.stack([ct.slots for ct in cts])
-    if first.params.slot_dtype is object:
-        total = np.sum(stack, axis=0) % t
-    else:
-        # Each slot value is < t, so chunks of `chunk` rows cannot overflow:
-        # acc (< t) plus chunk*(t-1) stays within int64.
-        chunk = max(1, (_INT64_MAX - t) // max(t - 1, 1))
-        total = np.zeros(first.params.slots, dtype=np.int64)
-        for start in range(0, len(cts), chunk):
-            total = (total + np.sum(stack[start : start + chunk], axis=0)) % t
+    total = get_backend().sum_slots(stack, t)
     return BGVCiphertext(total, first.key_id, first.params, level)
 
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
+
+from .backend import get_backend
 
 # A 127-bit Mersenne prime: large enough for 40-bit statistical security with
 # 46-bit fixpoint values (§6: 30 integer bits + 16 fraction bits), and fast
@@ -26,7 +28,9 @@ MERSENNE_61 = (1 << 61) - 1
 _SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
 
 
-def is_probable_prime(n: int, rounds: int = 32, rng: random.Random = None) -> bool:
+def is_probable_prime(
+    n: int, rounds: int = 32, rng: Optional[random.Random] = None
+) -> bool:
     """Miller–Rabin primality test.
 
     Deterministic witnesses are used for n < 3.3e24; above that we fall back
@@ -48,8 +52,9 @@ def is_probable_prime(n: int, rounds: int = 32, rng: random.Random = None) -> bo
     else:
         rng = rng or random.Random(0xA5B0)
         witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    backend = get_backend()
     for a in witnesses:
-        x = pow(a, d, n)
+        x = backend.powmod(a, d, n)
         if x == 1 or x == n - 1:
             continue
         for _ in range(r - 1):
@@ -139,13 +144,13 @@ class PrimeField:
         a %= self.modulus
         if a == 0:
             raise ZeroDivisionError("0 has no inverse in a field")
-        return pow(a, self.modulus - 2, self.modulus)
+        return get_backend().powmod(a, self.modulus - 2, self.modulus)
 
     def div(self, a: int, b: int) -> int:
         return self.mul(a, self.inv(b))
 
     def pow(self, a: int, e: int) -> int:
-        return pow(a % self.modulus, e, self.modulus)
+        return get_backend().powmod(a % self.modulus, e, self.modulus)
 
     def random_element(self, rng: random.Random) -> int:
         return rng.randrange(self.modulus)

@@ -17,8 +17,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from math import gcd
-from typing import Sequence
+from typing import Optional, Sequence
 
+from .backend import get_backend
 from .field import random_prime
 
 
@@ -62,7 +63,7 @@ class PaillierCiphertext:
     n: int
 
 
-def keygen(bits: int = 512, rng: random.Random = None) -> PaillierPrivateKey:
+def keygen(bits: int = 512, rng: Optional[random.Random] = None) -> PaillierPrivateKey:
     """Generate a Paillier keypair with two ``bits``-bit primes."""
     rng = rng or random.Random()
     while True:
@@ -74,7 +75,7 @@ def keygen(bits: int = 512, rng: random.Random = None) -> PaillierPrivateKey:
     lam = (p - 1) * (q - 1) // gcd(p - 1, q - 1)
     public = PaillierPublicKey(n)
     # For g = n+1, L(g^lam mod n^2) = lam mod n, so mu = lam^{-1} mod n.
-    mu = pow(lam % n, -1, n)
+    mu = get_backend().invmod(lam % n, n)
     return PaillierPrivateKey(public, lam, mu)
 
 
@@ -112,10 +113,21 @@ def encrypt_with_obfuscator(
     pk: PaillierPublicKey, m: int, r: int
 ) -> PaillierCiphertext:
     """Encrypt plaintext m (taken mod n) under explicit randomness r."""
-    return encrypt_with_pad(pk, m, pow(r, pk.n, pk.n_squared))
+    return encrypt_with_pad(pk, m, get_backend().powmod(r, pk.n, pk.n_squared))
 
 
-def encrypt(pk: PaillierPublicKey, m: int, rng: random.Random = None) -> PaillierCiphertext:
+def precompute_pads(pk: PaillierPublicKey, obfuscators: Sequence[int]) -> list:
+    """Batch the pad modexps ``r_i^n mod n²`` through the crypto backend.
+
+    The hottest Paillier kernel by far: one fixed exponent (``n``), many
+    random bases — exactly the shape the accelerated backend batches.
+    """
+    return get_backend().powmod_vector(obfuscators, pk.n, pk.n_squared)
+
+
+def encrypt(
+    pk: PaillierPublicKey, m: int, rng: Optional[random.Random] = None
+) -> PaillierCiphertext:
     """Encrypt plaintext m (taken mod n) with fresh randomness."""
     rng = rng or random.Random()
     return encrypt_with_obfuscator(pk, m, draw_obfuscator(pk, rng))
@@ -126,7 +138,7 @@ def decrypt(sk: PaillierPrivateKey, ct: PaillierCiphertext) -> int:
     n = sk.public.n
     if ct.n != n:
         raise ValueError("ciphertext was produced under a different key")
-    u = pow(ct.value, sk.lam, sk.public.n_squared)
+    u = get_backend().powmod(ct.value, sk.lam, sk.public.n_squared)
     l_of_u = (u - 1) // n
     return (l_of_u * sk.mu) % n
 
@@ -150,7 +162,7 @@ def add_plain(pk: PaillierPublicKey, ct: PaillierCiphertext, m: int) -> Paillier
 def mul_plain(ct: PaillierCiphertext, k: int) -> PaillierCiphertext:
     """Homomorphically multiply by a public plaintext scalar."""
     n2 = ct.n * ct.n
-    return PaillierCiphertext(pow(ct.value, k % ct.n, n2), ct.n)
+    return PaillierCiphertext(get_backend().powmod(ct.value, k % ct.n, n2), ct.n)
 
 
 def sum_ciphertexts(cts: Sequence[PaillierCiphertext]) -> PaillierCiphertext:

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from .backend import get_backend
 from .field import PrimeField
 
 
@@ -67,10 +68,18 @@ def share_secret(
 
 
 def lagrange_coefficients_at_zero(xs: Sequence[int], field: PrimeField) -> List[int]:
-    """Lagrange basis weights l_i(0) for interpolation at x=0."""
+    """Lagrange basis weights l_i(0) for interpolation at x=0.
+
+    The numerator/denominator products are accumulated per point and the
+    denominators inverted in one backend batch — the accelerated backend
+    uses Montgomery's trick (a single modexp for the whole batch), the
+    pure oracle inverts per element; the weights are identical integers
+    either way because every step is exact field arithmetic.
+    """
     if len(set(xs)) != len(xs):
         raise ValueError("interpolation points must be distinct")
-    weights = []
+    nums: List[int] = []
+    dens: List[int] = []
     for i, xi in enumerate(xs):
         num, den = 1, 1
         for j, xj in enumerate(xs):
@@ -78,8 +87,10 @@ def lagrange_coefficients_at_zero(xs: Sequence[int], field: PrimeField) -> List[
                 continue
             num = field.mul(num, field.neg(xj))
             den = field.mul(den, field.sub(xi, xj))
-        weights.append(field.div(num, den))
-    return weights
+        nums.append(num)
+        dens.append(den)
+    inverses = get_backend().batch_invmod(dens, field.modulus)
+    return [field.mul(num, inv) for num, inv in zip(nums, inverses)]
 
 
 def reconstruct_secret(shares: Iterable[Share], field: PrimeField) -> int:
@@ -153,7 +164,7 @@ def share_vector(
         for k in range(1, threshold + 1):
             coeffs[i, k] = field.random_element(rng)
     powers = _vandermonde_powers(party_ids, threshold, field)
-    evaluations = field.reduce(coeffs @ powers)  # (m, parties)
+    evaluations = get_backend().matmul_mod(coeffs, powers, field.modulus)  # (m, parties)
     return {
         pid: [Share(pid, int(y)) for y in evaluations[:, j]]
         for j, pid in enumerate(party_ids)
@@ -196,4 +207,4 @@ def reconstruct_vector(
             raise ValueError("share rows must use identical party sets")
         for j, s in enumerate(row):
             ys[i, j] = s.y % field.modulus
-    return [int(v) for v in field.reduce(ys @ weights)]
+    return [int(v) for v in get_backend().matvec_mod(ys, weights, field.modulus)]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
+from .backend import get_backend
 from .field import PrimeField, next_prime
 from .shamir import Share, lagrange_coefficients_at_zero
 
@@ -35,10 +36,11 @@ class FeldmanCommitment:
 
     def expected_commitment(self, x: int, field: PrimeField) -> int:
         """Compute prod_k C_k^{x^k} = g^{poly(x)} for verification."""
+        backend = get_backend()
         acc = 1
         exponent = 1
         for c in self.coefficient_commitments:
-            acc = (acc * pow(c, exponent, self.group_modulus)) % self.group_modulus
+            acc = (acc * backend.powmod(c, exponent, self.group_modulus)) % self.group_modulus
             exponent = field.mul(exponent, x)
         return acc
 
@@ -70,11 +72,12 @@ def _group_for_modulus(p: int) -> Tuple[int, int]:
         if next_prime(q) == q:
             break
         k += 1
+    backend = get_backend()
     h = 3
-    g = pow(h, (q - 1) // p, q)
+    g = backend.powmod(h, (q - 1) // p, q)
     while g == 1:
         h += 1
-        g = pow(h, (q - 1) // p, q)
+        g = backend.powmod(h, (q - 1) // p, q)
     return q, g
 
 
@@ -108,7 +111,7 @@ def redistribute_share(
     q, g = group or _group_for_field(field)
     coeffs = [field.reduce(old_share.y)]
     coeffs.extend(field.random_element(rng) for _ in range(threshold))
-    commitments = tuple(pow(g, c, q) for c in coeffs)
+    commitments = tuple(get_backend().powmod_base_vector(g, coeffs, q))
     sub_shares = []
     for pid in new_party_ids:
         acc = 0
@@ -122,7 +125,7 @@ def redistribute_share(
 
 def verify_sub_share(sub: SubShare, commitment: FeldmanCommitment, field: PrimeField) -> bool:
     """Check g^{sub.y} against the published polynomial commitments."""
-    lhs = pow(commitment.generator, sub.y, commitment.group_modulus)
+    lhs = get_backend().powmod(commitment.generator, sub.y, commitment.group_modulus)
     return lhs == commitment.expected_commitment(sub.x, field)
 
 
@@ -210,7 +213,7 @@ def share_secret_with_provenance(
     q, g = _group_for_field(field)
     coeffs = [field.reduce(secret)]
     coeffs.extend(field.random_element(rng) for _ in range(threshold))
-    commitments = tuple(pow(g, c, q) for c in coeffs)
+    commitments = tuple(get_backend().powmod_base_vector(g, coeffs, q))
     shares = []
     for pid in party_ids:
         acc = 0
@@ -224,7 +227,7 @@ def verify_share_provenance(
     share: Share, original: FeldmanCommitment, field: PrimeField
 ) -> bool:
     """Check that ``share`` lies on the originally committed polynomial."""
-    lhs = pow(original.generator, share.y, original.group_modulus)
+    lhs = get_backend().powmod(original.generator, share.y, original.group_modulus)
     return lhs == original.expected_commitment(share.x, field)
 
 

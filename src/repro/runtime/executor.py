@@ -72,6 +72,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..crypto import paillier
+from ..crypto.backend import active_backend_name
 from ..crypto.sortition import jointly_generate_block
 from ..crypto.vsr import VSRError
 from ..crypto.zkp import one_hot_statement, prove, range_statement
@@ -153,6 +154,10 @@ class RuntimeStatistics:
     """
 
     data_plane: str = "vectorized"
+    #: Name of the active crypto kernel backend (``crypto/backend.py``):
+    #: ``pure`` or ``accel``. Informational only — backends are
+    #: bit-identical by construction, so results never depend on it.
+    crypto_backend: str = ""
     logical_width: int = 0
     packed_width: int = 0
     packing_lanes: int = 1
@@ -314,7 +319,9 @@ class QueryExecutor:
         #: already paid for. Consulted by the charge site, never placed in
         #: a checkpoint payload ahead of its original execution point.
         self._restored_charges: Dict[str, Tuple[float, float]] = {}
-        self.statistics = RuntimeStatistics(data_plane=data_plane)
+        self.statistics = RuntimeStatistics(
+            data_plane=data_plane, crypto_backend=active_backend_name()
+        )
         #: The validated dataflow PrivacyCertificate for this run (set by
         #: the verify gate; its digest is folded into the signed
         #: CertificateBody so committees endorse the privacy proof too).

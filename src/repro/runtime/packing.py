@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..crypto.backend import get_backend
+
 
 @dataclass(frozen=True)
 class SlotPacking:
@@ -54,13 +56,11 @@ class SlotPacking:
             raise ValueError(
                 f"vector of {len(vector)} slots does not match width {self.width}"
             )
-        packed: List[int] = []
-        for start in range(0, self.width, self.lanes):
-            value = 0
-            for lane, v in enumerate(vector[start : start + self.lanes]):
-                value |= int(v) << (lane * self.slot_bits)
-            packed.append(value)
-        return packed
+        backend = get_backend()
+        return [
+            backend.pack_lanes(vector[start : start + self.lanes], self.slot_bits)
+            for start in range(0, self.width, self.lanes)
+        ]
 
     def unpack(self, packed: Sequence[int], *, check: bool = True) -> List[int]:
         """Split packed (aggregated) plaintexts back into logical slots.
@@ -75,7 +75,7 @@ class SlotPacking:
                 f"{len(packed)} packed values do not match packed width "
                 f"{self.packed_width}"
             )
-        mask = (1 << self.slot_bits) - 1
+        backend = get_backend()
         slots: List[int] = []
         for start, value in zip(range(0, self.width, self.lanes), packed):
             lanes_here = min(self.lanes, self.width - start)
@@ -84,8 +84,7 @@ class SlotPacking:
                     "packed aggregate overflowed its lane capacity; the "
                     "per-slot sum bound used to plan the packing was violated"
                 )
-            for lane in range(lanes_here):
-                slots.append((value >> (lane * self.slot_bits)) & mask)
+            slots.extend(backend.unpack_lanes(value, self.slot_bits, lanes_here))
         return slots
 
 

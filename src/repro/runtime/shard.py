@@ -98,11 +98,15 @@ class ObfuscatorPool:
         self.public_key = public_key
         self.pool_size = pool_size
         self.subset_size = subset_size
-        n2 = public_key.n_squared
-        self._n2 = n2
+        self._n2 = public_key.n_squared
+        # One fixed-exponent modexp batch through the crypto backend: the
+        # obfuscators are drawn first (preserving the stream's draw order)
+        # and padded in bulk.
+        obfuscators = [
+            paillier.draw_obfuscator(public_key, rng) for _ in range(pool_size)
+        ]
         self._pads: Tuple[int, ...] = tuple(
-            pow(paillier.draw_obfuscator(public_key, rng), public_key.n, n2)
-            for _ in range(pool_size)
+            paillier.precompute_pads(public_key, obfuscators)
         )
 
     def draw(self, rng: random.Random) -> int:

@@ -36,6 +36,12 @@ about because they encode *this* codebase's safety conventions:
   (``np.random.<fn>``) or construct an unseeded generator
   (``default_rng()`` with no arguments). Same rationale as R2, for the
   vectorized data plane: unseeded draws are unreplayable.
+* **R7 no-raw-modexp** — inside ``crypto/``, ``mpc/``, and ``runtime/``
+  every bigint modular exponentiation (3-argument ``pow``, and direct
+  ``gmpy2`` imports) must go through the pluggable kernel dispatch in
+  ``crypto/backend.py``. A raw ``pow(..., n_squared)`` bypasses backend
+  selection, so the accelerated path silently stops covering that call
+  site *and* the differential-equivalence suite stops testing it.
 
 All rules report through the shared :class:`VerificationReport` shape,
 with ``file:line`` subjects.
@@ -127,6 +133,12 @@ LINT_RULES: Tuple[LintRule, ...] = (
         "runtime/, mpc/, crypto/",
         "no numpy.random global-stream calls, no unseeded default_rng()",
     ),
+    LintRule(
+        "no-raw-modexp",
+        "runtime/, mpc/, crypto/ (except crypto/backend.py)",
+        "no 3-argument pow() or direct gmpy2 use outside the crypto "
+        "backend dispatch layer",
+    ),
 )
 
 #: Functions whose string argument names a derived random substream. Maps
@@ -206,6 +218,8 @@ class _FileLinter(ast.NodeVisitor):
         self.in_np_scope = (
             "runtime" in parts or "mpc" in parts or self.in_crypto
         )
+        #: The one module allowed to write raw bigint modexp (R7).
+        self.is_backend_module = self.in_crypto and path.name == "backend.py"
         self.in_stream_scope = self.in_np_scope or "faults" in parts
         self.is_init = path.name == "__init__.py"
         self.class_names = {
@@ -379,6 +393,21 @@ class _FileLinter(ast.NodeVisitor):
                     "default_rng() without a seed is unreplayable; derive "
                     "the seed from the run's master seed",
                 )
+        # R7: raw bigint modexp outside the backend dispatch layer.
+        if (
+            self.in_np_scope
+            and not self.is_backend_module
+            and isinstance(func, ast.Name)
+            and func.id == "pow"
+            and len(node.args) == 3
+        ):
+            self._flag(
+                "no-raw-modexp",
+                node,
+                "3-argument pow() bypasses the pluggable crypto backend; "
+                "route this modexp through crypto/backend.py "
+                "(get_backend().powmod / invmod / powmod_vector)",
+            )
         # R3: float() coercion of a secret.
         if (
             self._secret_stack
@@ -401,6 +430,17 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
+            if (
+                self.in_np_scope
+                and not self.is_backend_module
+                and alias.name.split(".")[0] == "gmpy2"
+            ):
+                self._flag(
+                    "no-raw-modexp",
+                    node,
+                    "direct gmpy2 import bypasses the pluggable crypto "
+                    "backend; only crypto/backend.py may bind gmpy2",
+                )
             if alias.name == "numpy":
                 self.numpy_aliases.add(alias.asname or "numpy")
             elif alias.name == "numpy.random":
@@ -412,6 +452,18 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (
+            self.in_np_scope
+            and not self.is_backend_module
+            and node.module
+            and node.module.split(".")[0] == "gmpy2"
+        ):
+            self._flag(
+                "no-raw-modexp",
+                node,
+                "direct gmpy2 import bypasses the pluggable crypto "
+                "backend; only crypto/backend.py may bind gmpy2",
+            )
         if self.in_rng_scope and node.module == "random":
             for alias in node.names:
                 if alias.name in _GLOBAL_RNG_FUNCS:

@@ -217,3 +217,39 @@ class TestServiceCommands:
         assert code == 1
         err = capsys.readouterr().err
         assert "BudgetExhausted" in err
+
+
+class TestBackendsCommand:
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "available" in out
+        assert "pure" in out and "accel" in out
+        # Exactly one backend is marked active.
+        assert out.count("selected:") == 1
+        assert "REPRO_CRYPTO_BACKEND" in out
+
+    def test_backends_json(self, capsys):
+        import json
+
+        assert main(["backends", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["env_var"] == "REPRO_CRYPTO_BACKEND"
+        rows = {row["backend"]: row for row in report["backends"]}
+        assert set(rows) == {"pure", "accel"}
+        assert rows["pure"]["available"] is True
+        assert sum(1 for row in rows.values() if row["selected"]) == 1
+        selected = next(row for row in rows.values() if row["selected"])
+        assert selected["selection_reason"]
+
+    def test_run_stats_name_the_backend(self, tmp_path, capsys):
+        query = tmp_path / "q.arb"
+        query.write_text("aggr = sum(db); r = em(aggr); output(r);")
+        code = main(
+            ["run", str(query), "--devices", "16", "--categories", "4", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        from repro.crypto.backend import active_backend_name
+
+        assert f"crypto_backend: {active_backend_name()}" in out
